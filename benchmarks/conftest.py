@@ -1,0 +1,47 @@
+"""Shared fixtures for the figure/table benchmark harness.
+
+Every benchmark regenerates one paper artifact (figure or table), prints
+it as an aligned text table (run with ``-s`` to see it inline), and also
+writes it to ``benchmarks/out/<name>.txt`` so EXPERIMENTS.md can be
+checked against fresh numbers.
+
+Heavy simulations that several figures share (the three-policy cluster
+evaluation behind Figs 12 and 13) run once per session.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.evaluation import evaluate_all_policies, fit_catalog
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """The fitted application catalog every figure builds on."""
+    return fit_catalog(seed=7)
+
+
+@pytest.fixture(scope="session")
+def policy_evals(catalog):
+    """The Fig 12/13 three-policy cluster evaluation (run once)."""
+    return evaluate_all_policies(
+        catalog, placement_seeds=range(8), duration_s=25.0
+    )
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a rendered artifact and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

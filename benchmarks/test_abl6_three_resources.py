@@ -1,0 +1,73 @@
+"""Ablation A6 — the k=3 resource generalization (our addition).
+
+Section III claims the indirect-utility machinery generalizes "for more
+than two types of resources"; Section V-G lists memory bandwidth as the
+natural third axis.  This benchmark runs the full profile → fit →
+least-power pipeline on a synthetic 3-resource application (cores, LLC
+ways, memory-bandwidth units) and checks the generalization holds:
+
+* the k-regressor fit recovers the 3-way preference vector;
+* the k-dimensional least-power projection tracks the dual closed form
+  across the load range (the expansion path stays a ray in 3-D).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core.multires import (
+    fit_k_model,
+    integer_min_power_allocation_k,
+    make_three_resource_app,
+    profile_k_resources,
+    profiling_grid_k,
+)
+
+
+def run_three_resource_pipeline():
+    app = make_three_resource_app()
+    grid = profiling_grid_k(app.limits, points_per_axis=4)
+    samples = profile_k_resources(app, grid, rng=np.random.default_rng(3))
+    model, r2_perf, r2_power = fit_k_model(samples)
+    full = model.performance(tuple(float(x) for x in app.limits))
+    allocations = {
+        frac: integer_min_power_allocation_k(model, frac * full, app.limits)
+        for frac in (0.2, 0.4, 0.6, 0.8)
+    }
+    return app, model, r2_perf, r2_power, allocations
+
+
+def test_abl6_three_resources(benchmark, emit):
+    app, model, r2_perf, r2_power, allocations = benchmark.pedantic(
+        run_three_resource_pipeline, rounds=1, iterations=1
+    )
+
+    pref = model.preference_vector()
+    true = app.true_preference_vector()
+    rows = [
+        [name, fitted, true_v]
+        for (name, fitted), true_v in zip(pref.items(), true)
+    ]
+    emit("abl6_three_resources_prefs", format_table(
+        ["resource", "fitted pref", "true pref"], rows,
+        title=f"Ablation A6 — 3-resource fit "
+              f"(R2 perf {r2_perf:.2f}, power {r2_power:.2f})",
+    ))
+    rows = [
+        [f"{frac:.0%}", c, w, b, model.power_w((c, w, b))]
+        for frac, (c, w, b) in allocations.items()
+    ]
+    emit("abl6_three_resources_path", format_table(
+        ["perf target", "cores", "ways", "membw", "model W"],
+        rows, precision=1,
+        title="3-D least-power expansion path",
+    ))
+
+    assert 0.80 <= r2_perf <= 1.0 and 0.90 <= r2_power <= 1.0
+    for (name, fitted), true_v in zip(pref.items(), true):
+        assert abs(fitted - true_v) < 0.06
+    # The discrete path is monotone in every axis and respects limits.
+    ordered = [allocations[f] for f in sorted(allocations)]
+    for lo, hi in zip(ordered, ordered[1:]):
+        assert all(h >= l for l, h in zip(lo, hi))
+    for point in ordered:
+        assert all(1 <= point[j] <= app.limits[j] for j in range(3))

@@ -1,0 +1,57 @@
+"""Ablation A7 — power-aware admission boundaries (our addition).
+
+The paper colocates "during off-peak periods" without formalizing the
+cutoff.  This benchmark computes, per (LC server, BE app) pair, the
+highest LC load fraction at which the admission controller still admits
+the BE app — using the same fitted models as placement.
+
+Expected shape: admission boundaries fall with the BE app's power
+hunger and with the LC server's provisioning tightness; the generously
+provisioned sphinx server (182 W) admits everything almost to its peak,
+while the tight 133 W servers cut the hungry apps off early.
+"""
+
+from repro.analysis import format_table
+from repro.core.admission import AdmissionController
+
+
+def compute_boundaries(catalog):
+    boundaries = {}
+    for lc_name, lc in catalog.lc_apps.items():
+        controller = AdmissionController(
+            lc_model=catalog.lc_fits[lc_name].model,
+            peak_load=lc.peak_load,
+            provisioned_power_w=lc.peak_server_power_w(),
+            spec=catalog.spec,
+            min_be_throughput=0.10,
+        )
+        for be_name, be_fit in catalog.be_fits.items():
+            boundaries[(lc_name, be_name)] = controller.admission_boundary(
+                be_fit.model, resolution=50
+            )
+    return boundaries
+
+
+def test_abl7_admission(benchmark, emit, catalog):
+    boundaries = benchmark(compute_boundaries, catalog)
+
+    lc_names = list(catalog.lc_apps)
+    be_names = list(catalog.be_apps)
+    rows = [
+        [be] + [boundaries[(lc, be)] for lc in lc_names]
+        for be in be_names
+    ]
+    emit("abl7_admission", format_table(
+        ["BE app \\ LC server"] + lc_names, rows, precision=2,
+        title="Ablation A7 — highest LC load fraction still admitting "
+              "the BE app (min predicted throughput 0.10)",
+    ))
+
+    for value in boundaries.values():
+        assert 0.0 <= value <= 1.0
+    # Every pair admits at genuinely low load — the harvesting premise.
+    assert all(boundaries[(lc, be)] >= 0.1
+               for lc in lc_names for be in be_names)
+    # The generously provisioned sphinx server admits the frugal lstm at
+    # least as long as the tight img-dnn server does.
+    assert boundaries[("sphinx", "lstm")] >= boundaries[("img-dnn", "lstm")]

@@ -1,0 +1,35 @@
+"""Fig 3 — BE throughput with and without the power cap.
+
+Paper artifact: under the ~70 W best-effort power budget left by xapian
+at 10 % load, throughput drops range "from 3% (LSTM and RNN) to 20%
+(Graph)" relative to the uncapped run.
+
+Shape to reproduce: LSTM and RNN lose a few percent, pbzip an
+intermediate amount, graph the most (~20 %).
+"""
+
+from repro.analysis import format_table
+from repro.evaluation.motivation import fig3_capped_throughput
+
+
+def test_fig03_power_capped_perf(benchmark, emit):
+    rows_data = benchmark.pedantic(fig3_capped_throughput, rounds=1, iterations=1)
+
+    rows = [
+        [r.be_name, r.uncapped_norm, r.capped_norm, f"{r.drop_fraction:.1%}",
+         r.final_freq_ghz, r.final_duty]
+        for r in rows_data
+    ]
+    emit("fig03_power_capped_perf", format_table(
+        ["BE app", "uncapped", "capped", "drop", "final GHz", "final duty"],
+        rows,
+        title="Fig 3 — throughput under the power budget "
+              "(paper: LSTM/RNN ~3%, Graph ~20%)",
+    ))
+
+    by_name = {r.be_name: r for r in rows_data}
+    assert by_name["lstm"].drop_fraction < 0.08
+    assert by_name["rnn"].drop_fraction < 0.08
+    assert 0.15 <= by_name["graph"].drop_fraction <= 0.30
+    assert (by_name["rnn"].drop_fraction < by_name["pbzip"].drop_fraction
+            < by_name["graph"].drop_fraction)

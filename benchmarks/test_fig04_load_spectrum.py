@@ -1,0 +1,29 @@
+"""Fig 4 — LSTM vs RNN across the whole xapian load spectrum.
+
+Paper artifact: both apps look fine at the 10 %-load snapshot, but "RNN
+is able to derive better performance at all loads when compared to LSTM"
+once the entire 10-90 % range is considered.
+
+Shape to reproduce: RNN ≥ LSTM at every load level; both decay with load.
+"""
+
+from repro.analysis import format_series
+from repro.evaluation.motivation import fig4_load_spectrum
+
+
+def test_fig04_load_spectrum(benchmark, emit):
+    curves = benchmark.pedantic(fig4_load_spectrum, rounds=1, iterations=1)
+
+    levels = [level for level, _ in curves["lstm"]]
+    emit("fig04_load_spectrum", format_series(
+        "xapian load", ["lstm", "rnn"],
+        levels,
+        [[t for _, t in curves["lstm"]], [t for _, t in curves["rnn"]]],
+        title="Fig 4 — capped BE throughput (normalized) vs xapian load "
+              "(paper: RNN wins at all loads)",
+    ))
+
+    for (_, lstm_t), (_, rnn_t) in zip(curves["lstm"], curves["rnn"]):
+        assert rnn_t >= lstm_t - 1e-9
+    lstm_series = [t for _, t in curves["lstm"]]
+    assert lstm_series == sorted(lstm_series, reverse=True)

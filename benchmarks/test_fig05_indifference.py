@@ -1,0 +1,39 @@
+"""Fig 5 — sphinx indifference curves and the least-power expansion path.
+
+Paper artifact: iso-load curves for sphinx at 20-80 % of peak in
+(cores, ways) space, with a dotted curve through the least-power
+allocation of each level ("allocation-A to allocation-B" as load grows).
+
+Shape to reproduce: convex iso-load curves; the expansion path is a ray
+whose slope equals the indirect preference ratio (ways-leaning for
+sphinx); each path point is the cheapest on its curve.
+"""
+
+from repro.analysis import format_table
+from repro.core.indifference import path_is_ray
+from repro.evaluation.characterization import fig5_indifference
+
+
+def test_fig05_indifference(benchmark, emit, catalog):
+    fig = benchmark(fig5_indifference, catalog)
+
+    rows = []
+    for level, (cores, ways) in zip(fig.levels, fig.expansion):
+        model = catalog.lc_fits["sphinx"].model
+        rows.append([f"{level:.0%}", cores, ways,
+                     model.power_w((cores, ways))])
+    emit("fig05_indifference", format_table(
+        ["load", "cores*", "ways*", "model W"],
+        rows, precision=2,
+        title="Fig 5 — sphinx least-power expansion path "
+              "(paper: ways-leaning dotted curve)",
+    ))
+
+    assert path_is_ray(fig.expansion, tolerance=1e-6)
+    model = catalog.lc_fits["sphinx"].model
+    for level, (exp_c, exp_w) in zip(fig.levels, fig.expansion):
+        exp_power = model.power_w((exp_c, exp_w))
+        for cores, ways in fig.curves[level]:
+            assert model.power_w((cores, ways)) >= exp_power - 1e-6
+    # Ways-leaning: sphinx's power-efficient mix uses more ways than cores.
+    assert all(w > c for c, w in fig.expansion)

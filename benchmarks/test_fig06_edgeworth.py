@@ -1,0 +1,43 @@
+"""Fig 6 — the Edgeworth box: primary allocation vs spare for the BE app.
+
+Paper artifact: the primary's least-power allocation at each load level
+(origin bottom-left) and the complementary spare region for the
+secondary (origin top-right); "at 20% load, primary uses 1 core and 5
+cache ways".
+
+Shape to reproduce: primary + spare always sum to the box; spare shrinks
+monotonically with load; the 20 % point lands near (1-3 cores, 4-8 ways).
+"""
+
+from repro.analysis import format_table
+from repro.evaluation.characterization import fig6_edgeworth
+
+
+def test_fig06_edgeworth(benchmark, emit, catalog):
+    points = benchmark(fig6_edgeworth, catalog)
+
+    app = catalog.lc_apps["sphinx"]
+    rows = [
+        [f"{p.perf_level / app.peak_load:.0%}",
+         p.primary[0], p.primary[1], p.spare[0], p.spare[1],
+         p.primary_power_w]
+        for p in points
+    ]
+    emit("fig06_edgeworth", format_table(
+        ["load", "primary cores", "primary ways", "spare cores",
+         "spare ways", "primary W"],
+        rows, precision=2,
+        title="Fig 6 — Edgeworth box for sphinx "
+              "(paper: 20% load -> ~1 core, ~5 ways)",
+    ))
+
+    spec = catalog.spec
+    for p in points:
+        if p.spare[0] > 0 and p.spare[1] > 0:
+            assert p.primary[0] + p.spare[0] == spec.cores
+            assert p.primary[1] + p.spare[1] == spec.llc_ways
+    spare_core_series = [p.spare[0] for p in points]
+    assert spare_core_series == sorted(spare_core_series, reverse=True)
+    low = points[0]  # the 20 % level
+    assert 1.0 <= low.primary[0] <= 3.0
+    assert 4.0 <= low.primary[1] <= 8.0

@@ -1,0 +1,33 @@
+"""Fig 8 — goodness of fit of the Cobb-Douglas indirect utility model.
+
+Paper artifact: R² of the fitted performance and power models for every
+latency-critical (8a) and best-effort (8b) application: "All applications
+have R-squared between 0.8 to 0.95 for performance and 0.8 to 0.98 for
+power, indicating a good fit."
+
+Shape to reproduce: the same bands (we allow a small margin since the
+noise draw differs).
+"""
+
+from repro.analysis import format_table
+from repro.evaluation.characterization import fig8_goodness_of_fit
+
+
+def test_fig08_goodness_of_fit(benchmark, emit, catalog):
+    rows_data = benchmark(fig8_goodness_of_fit, catalog)
+
+    rows = [
+        [r.app_name, r.kind.upper(), r.r2_perf, r.r2_power, r.n_samples]
+        for r in rows_data
+    ]
+    emit("fig08_goodness_of_fit", format_table(
+        ["app", "kind", "R2 perf", "R2 power", "samples"],
+        rows,
+        title="Fig 8 — goodness of fit "
+              "(paper: perf 0.80-0.95, power 0.80-0.98)",
+    ))
+
+    for r in rows_data:
+        assert 0.70 <= r.r2_perf <= 1.0
+        assert 0.80 <= r.r2_power <= 1.0
+    assert len(rows_data) == 8

@@ -1,0 +1,38 @@
+"""Figs 9, 10, 11 — direct utility, power needs, and indirect utility.
+
+Paper artifact: per-application preference decompositions.  The story:
+sphinx prefers cores on direct utility (Fig 9a, ~0.6:0.4) but its cores
+are power-hungry (Fig 10a), so the *indirect* preference flips to ways
+(Fig 11a, ~0.2:0.8); LSTM ends near 0.13:0.87 and Graph near 0.8:0.2 —
+which is what makes Graph sphinx's complement.
+
+Shape to reproduce: the sphinx flip and the quoted indirect vectors.
+"""
+
+from repro.analysis import format_table
+from repro.evaluation.characterization import fig9_10_11_preferences
+
+
+def test_fig09_11_preferences(benchmark, emit, catalog):
+    rows_data = benchmark(fig9_10_11_preferences, catalog)
+
+    rows = [
+        [r.app_name, r.kind.upper(),
+         f"{r.direct_cores:.2f}:{r.direct_ways:.2f}",
+         f"{r.power_cores:.2f}:{r.power_ways:.2f}",
+         f"{r.indirect_cores:.2f}:{r.indirect_ways:.2f}"]
+        for r in rows_data
+    ]
+    emit("fig09_11_preferences", format_table(
+        ["app", "kind", "direct a (F9)", "power p (F10)", "indirect a/p (F11)"],
+        rows,
+        title="Figs 9-11 — fitted preferences, cores:ways "
+              "(paper: sphinx 0.6:0.4 -> 0.2:0.8; graph -> 0.8:0.2)",
+    ))
+
+    by_name = {r.app_name: r for r in rows_data}
+    sphinx = by_name["sphinx"]
+    assert sphinx.direct_cores > 0.5 and sphinx.indirect_cores < 0.3
+    assert abs(by_name["graph"].indirect_cores - 0.8) < 0.06
+    assert abs(by_name["lstm"].indirect_cores - 0.13) < 0.06
+    assert abs(by_name["lstm"].direct_cores - 0.32) < 0.08

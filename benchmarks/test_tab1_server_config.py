@@ -1,0 +1,39 @@
+"""Table I — the server configuration.
+
+Paper artifact: the Xeon E5-2650 testbed description: 12 cores,
+1.2-2.2 GHz, 30 MB / 20-way LLC, 256 GB DDR4, 480 GB SSD, 50 W idle /
+135 W active.
+
+This benchmark regenerates the table from the reference spec constants
+and checks every row.
+"""
+
+from repro.analysis import format_table
+from repro.apps.catalog import REFERENCE_SPEC
+
+
+def test_tab1_server_config(benchmark, emit):
+    spec = benchmark(lambda: REFERENCE_SPEC)
+
+    rows = [
+        ["Processor", spec.name],
+        ["Cores", f"{spec.cores} cores"],
+        ["Frequency", f"{spec.min_freq_ghz} GHz to {spec.max_freq_ghz} GHz"],
+        ["LLC capacity", f"{spec.llc_mb:.0f}M, {spec.llc_ways} ways"],
+        ["Memory", f"{spec.memory_gb}GB DDR4"],
+        ["Storage", f"{spec.storage_gb}GB SSD"],
+        ["Power", f"Idle:{spec.idle_power_w:.0f} W, "
+                  f"Active:{spec.nameplate_power_w:.0f} W"],
+    ]
+    emit("tab1_server_config", format_table(
+        ["Property", "Configuration"], rows,
+        title="Table I — server configuration",
+    ))
+
+    assert spec.cores == 12
+    assert spec.llc_ways == 20
+    assert spec.llc_mb == 30.0
+    assert spec.min_freq_ghz == 1.2 and spec.max_freq_ghz == 2.2
+    assert spec.idle_power_w == 50.0
+    assert spec.nameplate_power_w == 135.0
+    assert spec.memory_gb == 256 and spec.storage_gb == 480

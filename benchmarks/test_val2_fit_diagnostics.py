@@ -1,0 +1,62 @@
+"""Validation V2 — fit diagnostics separate good fits from §V-G violators.
+
+Section V-G scopes the method to workloads with convex, substitutable
+resource preferences.  This benchmark runs the diagnostic battery
+(:mod:`repro.core.validation`) over the whole paper catalog plus a
+synthetic Leontief (perfect-complements) application.
+
+Shape to confirm: all eight catalog apps pass every check with a small
+residual-imbalance trend; the Leontief app is flagged on both the
+substitution detector and the preference-rankability CI.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core.profiler import (
+    default_profiling_grid,
+    profile_best_effort,
+    profile_latency_critical,
+)
+from repro.core.validation import diagnose_fit, leontief_samples
+
+
+def run_battery(catalog):
+    grid = default_profiling_grid(catalog.spec)
+    rng = np.random.default_rng(42)
+    rows = []
+    for name, app in catalog.lc_apps.items():
+        samples = profile_latency_critical(app, grid, load_fraction=0.3, rng=rng)
+        rows.append((name, "lc", diagnose_fit(samples)))
+    for name, app in catalog.be_apps.items():
+        samples = profile_best_effort(app, grid, rng)
+        rows.append((name, "be", diagnose_fit(samples)))
+    rows.append(("leontief*", "stress", diagnose_fit(leontief_samples())))
+    return rows
+
+
+def test_val2_fit_diagnostics(benchmark, emit, catalog):
+    rows_data = benchmark.pedantic(run_battery, args=(catalog,),
+                                   rounds=1, iterations=1)
+
+    rows = [
+        [name, kind, d.r2_perf, d.returns_to_scale, d.residual_trend,
+         f"[{d.pref_cores_ci[0]:.2f}, {d.pref_cores_ci[1]:.2f}]",
+         ("OK" if d.trustworthy else f"{len(d.warnings)} warnings")
+         + ("" if d.preference_rankable else " (near-tie)")]
+        for name, kind, d in rows_data
+    ]
+    emit("val2_fit_diagnostics", format_table(
+        ["app", "kind", "R2 perf", "ret. to scale", "imbalance trend",
+         "pref CI (cores)", "verdict"],
+        rows, precision=2,
+        title="V2 — fit diagnostics (leontief* = synthetic §V-G violator)",
+    ))
+
+    for name, kind, diag in rows_data:
+        if kind == "stress":
+            assert not diag.trustworthy
+            assert diag.residual_trend > 0.5
+        else:
+            assert diag.trustworthy, (name, diag.warnings)
+            assert diag.residual_trend < 0.35

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Capacity planning and admission control: the operator's view.
+
+Walks the lifecycle the paper assumes around Pocolo:
+
+1. **Plan** — right-size a xapian cluster's power capacity for its
+   projected diurnal demand, and see how much of it is stranded off-peak
+   (the watts harvesting exists to recover).
+2. **Admit** — use the fitted utility models to decide, load level by
+   load level, which best-effort apps are worth admitting.
+3. **Inspect** — the stranded-power profile over the day, i.e. the
+   best-effort power budget Pocolo plays with.
+
+Run:  python examples/admission_and_planning.py
+"""
+
+from repro.analysis import format_table
+from repro.core.admission import AdmissionController
+from repro.cost.planning import plan_power, servers_for_demand, stranded_power_profile
+from repro.evaluation import fit_catalog
+from repro.workloads import DiurnalTrace
+
+
+def main() -> None:
+    catalog = fit_catalog(seed=7)
+    xapian = catalog.lc_apps["xapian"]
+    trace = DiurnalTrace(min_fraction=0.1, max_fraction=0.9)
+
+    # ------------------------------------------------------------------
+    # 1. Right-size the cluster.
+    # ------------------------------------------------------------------
+    plan = plan_power(xapian, trace)
+    n_servers = servers_for_demand(xapian, aggregate_peak_load=100_000.0)
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ["primary application", plan.app_name],
+            ["projected peak load", f"{plan.peak_load_fraction:.0%} of server peak"],
+            ["provisioned power / server", f"{plan.provisioned_power_w:.1f} W"],
+            ["mean draw / server", f"{plan.mean_draw_w:.1f} W"],
+            ["stranded power / server", f"{plan.stranded_w:.1f} W "
+             f"({plan.stranded_fraction:.0%})"],
+            ["servers for 100k rps aggregate", n_servers],
+        ],
+        title="Capacity plan for the xapian cluster",
+    ))
+
+    # ------------------------------------------------------------------
+    # 2. Admission boundaries per BE candidate.
+    # ------------------------------------------------------------------
+    controller = AdmissionController(
+        lc_model=catalog.lc_fits["xapian"].model,
+        peak_load=xapian.peak_load,
+        provisioned_power_w=xapian.peak_server_power_w(),
+        spec=catalog.spec,
+        min_be_throughput=0.10,
+    )
+    rows = []
+    for be_name, be_fit in catalog.be_fits.items():
+        boundary = controller.admission_boundary(be_fit.model, resolution=50)
+        sample = controller.decide(0.3 * xapian.peak_load, be_fit.model)
+        rows.append([be_name, f"{boundary:.0%}",
+                     sample.predicted_be_throughput,
+                     "admit" if sample.admit else "reject"])
+    print()
+    print(format_table(
+        ["BE app", "admitted up to", "pred. tput @30% load", "decision @30%"],
+        rows,
+        title="Admission control on the xapian server",
+    ))
+
+    # ------------------------------------------------------------------
+    # 3. The stranded-power profile: harvesting's raw material.
+    # ------------------------------------------------------------------
+    profile = stranded_power_profile(xapian, trace, samples=12)
+    rows = [[f"{t / 3600:.0f}h", stranded] for t, stranded in profile]
+    print()
+    print(format_table(
+        ["time", "stranded W"], rows, precision=1,
+        title="Stranded power over the day (the best-effort budget)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Cluster-scale scheduling: Random vs POM vs POColo, plus the TCO bill.
+
+Reproduces the paper's headline experiment (Figs 12, 13, 15) at reduced
+duration: four latency-critical servers, four best-effort candidates,
+three policies, a uniform 10-90 % load sweep — then prices each policy
+with the Hamilton TCO model.
+
+Run:  python examples/cluster_scheduling.py   (takes ~1 minute)
+"""
+
+from repro.analysis import format_table, percent_change
+from repro.evaluation import evaluate_all_policies, fig15_tco, fit_catalog
+
+
+def main() -> None:
+    catalog = fit_catalog(seed=7)
+
+    print("Running Random / POM / POColo over the load sweep ...")
+    evals = evaluate_all_policies(
+        catalog, placement_seeds=range(6), duration_s=25.0
+    )
+    servers = list(catalog.lc_apps)
+
+    rows = []
+    for policy, ev in evals.items():
+        rows.append(
+            [policy]
+            + [ev.be_throughput_by_server[s] for s in servers]
+            + [ev.cluster_be_throughput]
+        )
+    print(format_table(
+        ["policy"] + servers + ["cluster"], rows,
+        title="\nFig 12 — BE throughput (normalized) by LC server",
+    ))
+
+    rows = []
+    for policy, ev in evals.items():
+        rows.append(
+            [policy]
+            + [ev.power_utilization_by_server[s] for s in servers]
+            + [ev.cluster_power_utilization]
+        )
+    print(format_table(
+        ["policy"] + servers + ["cluster"], rows,
+        title="\nFig 13 — power utilization (fraction of provisioned) by server",
+    ))
+
+    random_tput = evals["random"].cluster_be_throughput
+    print("\nHeadline:")
+    for policy in ("pom", "pocolo"):
+        gain = percent_change(evals[policy].cluster_be_throughput, random_tput)
+        print(f"  {policy:6s}: {gain:+.1%} BE throughput vs random "
+              f"(paper: pom +8%, pocolo +18%)")
+
+    print("\nPricing the policies (Fig 15) ...")
+    tco = fig15_tco(catalog, placement_seeds=range(4), duration_s=25.0)
+    rows = []
+    for name, b in tco.breakdowns.items():
+        rows.append([name, b.servers_usd / 1e6, b.power_infra_usd / 1e6,
+                     b.energy_usd / 1e6, b.total_usd / 1e6])
+    print(format_table(
+        ["policy", "servers $M", "power infra $M", "energy $M", "total $M"],
+        rows, precision=2,
+        title="Amortized monthly TCO (100k-server datacenter)",
+    ))
+    print("\nPOColo TCO savings:",
+          {k: f"{v:.1%}" for k, v in tco.savings_of_pocolo.items()})
+
+
+if __name__ == "__main__":
+    main()

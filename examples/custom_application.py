@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Bring your own workload: onboarding new applications into Pocolo.
+
+Defines two applications that are *not* in the paper — a memcached-like
+latency-critical service and a video-transcoding best-effort job — builds
+their ground-truth profiles, runs them through the standard profiling +
+fitting pipeline, and asks the placement machinery where the transcoder
+should land in a cluster that also contains the paper's workloads.
+
+This is the path a downstream user takes to adopt the library for their
+own fleet.
+
+Run:  python examples/custom_application.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.apps import (
+    ApplicationProfile,
+    BestEffortApp,
+    LatencyCriticalApp,
+    LatencySlo,
+    PerformanceSurface,
+    PowerSurface,
+    REFERENCE_SPEC,
+    TailLatencyModel,
+    derive_power_coefficients,
+)
+from repro.core import (
+    build_performance_matrix,
+    default_profiling_grid,
+    fit_indirect_utility,
+    pocolo_placement,
+    profile_best_effort,
+    profile_latency_critical,
+)
+from repro.core.placement import LcServerSide
+from repro.evaluation import fit_catalog
+
+
+def make_memcached() -> LatencyCriticalApp:
+    """A memcached-like service: cache-dominated, cheap cores.
+
+    In a real deployment these constants come from capacity planning;
+    ``derive_power_coefficients`` keeps the power surface consistent
+    with the preference vector you believe the app has.
+    """
+    spec = REFERENCE_SPEC
+    p_core, p_way = derive_power_coefficients(
+        alpha_cores=0.40, alpha_ways=0.60,     # direct elasticities
+        pref_cores=0.35, pref_ways=0.65,       # target indirect preferences
+        full_active_w=120.0 - spec.idle_power_w,
+        static_w=5.0, spec=spec,
+    )
+    profile = ApplicationProfile(
+        name="memcached", domain="key-value store",
+        perf=PerformanceSurface(alpha_cores=0.40, alpha_ways=0.60, alpha_freq=0.5),
+        power=PowerSurface(p_core_w=p_core, p_way_w=p_way, static_w=5.0),
+        spec=spec,
+    )
+    slo = LatencySlo(p95_s=0.0005, p99_s=0.001)  # 1 ms p99
+    return LatencyCriticalApp(
+        profile=profile, peak_load=200_000.0, latency=TailLatencyModel(slo=slo)
+    )
+
+
+def make_transcoder() -> BestEffortApp:
+    """A video transcoder: compute-hungry, frequency-sensitive."""
+    spec = REFERENCE_SPEC
+    p_core, p_way = derive_power_coefficients(
+        alpha_cores=0.75, alpha_ways=0.25,
+        pref_cores=0.70, pref_ways=0.30,
+        full_active_w=95.0, static_w=4.0, spec=spec,
+    )
+    profile = ApplicationProfile(
+        name="transcode", domain="video processing",
+        perf=PerformanceSurface(alpha_cores=0.75, alpha_ways=0.25, alpha_freq=0.9),
+        power=PowerSurface(p_core_w=p_core, p_way_w=p_way, static_w=4.0),
+        spec=spec,
+    )
+    return BestEffortApp(profile=profile, peak_throughput=48.0, unit="frames/s")
+
+
+def main() -> None:
+    spec = REFERENCE_SPEC
+    rng = np.random.default_rng(21)
+    grid = default_profiling_grid(spec)
+
+    # Profile + fit the two new applications, exactly like the paper's.
+    memcached = make_memcached()
+    transcoder = make_transcoder()
+    mc_fit = fit_indirect_utility(
+        profile_latency_critical(memcached, grid, load_fraction=0.3, rng=rng)
+    )
+    tc_fit = fit_indirect_utility(profile_best_effort(transcoder, grid, rng=rng))
+
+    rows = [
+        ["memcached (LC)", mc_fit.r2_perf, mc_fit.r2_power,
+         mc_fit.preference_vector()["cores"]],
+        ["transcode (BE)", tc_fit.r2_perf, tc_fit.r2_power,
+         tc_fit.preference_vector()["cores"]],
+    ]
+    print(format_table(
+        ["app", "R2 perf", "R2 power", "indirect pref (cores)"],
+        rows, title="Fitted custom applications"))
+    print()
+
+    # Drop them into a cluster next to the paper's catalog and re-place.
+    catalog = fit_catalog(seed=7)
+    servers = catalog.lc_server_sides() + [
+        LcServerSide(
+            name="memcached", model=mc_fit.model,
+            provisioned_power_w=memcached.peak_server_power_w(),
+            peak_load=memcached.peak_load,
+        )
+    ]
+    be_models = {name: fit.model for name, fit in catalog.be_fits.items()}
+    be_models["transcode"] = tc_fit.model
+    matrix = build_performance_matrix(servers, be_models, spec)
+    decision = pocolo_placement(matrix)
+
+    print("Placement with the custom apps in the pool:")
+    for be, lc in decision.mapping.items():
+        print(f"  {be:10s} -> {lc}")
+    print()
+    print("Predicted normalized throughput matrix (rows = BE apps):")
+    rows = [
+        [be] + [matrix.cell(be, lc.name) for lc in servers]
+        for be in matrix.be_names
+    ]
+    print(format_table(["be \\ lc"] + [lc.name for lc in servers], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: the whole Pocolo pipeline in one minute.
+
+Profiles the paper's eight applications through (simulated) telemetry,
+fits Cobb-Douglas indirect utility models, prints the fitted resource
+preferences, solves the power-aware placement, and runs one colocated
+server to show the managed result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import format_table
+from repro.core.server_manager import PowerOptimizedManager
+from repro.evaluation import fit_catalog, placement_for_policy
+from repro.sim import ColocationSim, SimConfig, build_colocated_server
+from repro.workloads import ConstantTrace
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Profile + fit every application (Fig 7, step I).
+    # ------------------------------------------------------------------
+    catalog = fit_catalog(seed=7)
+    rows = []
+    for name, fit in {**catalog.lc_fits, **catalog.be_fits}.items():
+        pref = fit.preference_vector()
+        rows.append([name, fit.r2_perf, fit.r2_power,
+                     pref["cores"], pref["ways"]])
+    print(format_table(
+        ["app", "R2 perf", "R2 power", "pref cores", "pref ways"],
+        rows, title="Fitted models (indirect preference = alpha_j / p_j, normalized)"))
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. Power-aware placement (Fig 7, steps II-III).
+    # ------------------------------------------------------------------
+    decision = placement_for_policy(catalog, "pocolo")
+    print("POColo placement (BE app -> LC server):")
+    for be, lc in decision.mapping.items():
+        print(f"  {be:6s} -> {lc}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Run one colocated server under POM (Fig 7, step IV).
+    # ------------------------------------------------------------------
+    lc = catalog.lc_apps["sphinx"]
+    be = catalog.be_apps["graph"]  # POColo's pick for the sphinx server
+    server = build_colocated_server(
+        catalog.spec, lc, provisioned_power_w=lc.peak_server_power_w(), be_app=be
+    )
+    manager = PowerOptimizedManager(server, model=catalog.lc_fits["sphinx"].model)
+    sim = ColocationSim(
+        server=server, lc_app=lc, trace=ConstantTrace(0.3),
+        manager=manager, be_app=be, config=SimConfig(seed=0),
+    )
+    result = sim.run(duration_s=60.0)
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["LC app / load", f"{lc.name} @ 30% of peak"],
+            ["BE co-runner", be.name],
+            ["BE throughput (normalized)", result.avg_be_throughput_norm],
+            ["BE throughput (absolute)",
+             f"{result.avg_be_throughput_abs:.0f} {be.unit}"],
+            ["avg server power (W)", result.avg_power_w],
+            ["power utilization", result.power_utilization],
+            ["SLO violation fraction", result.slo_violation_fraction],
+        ],
+        title="One minute of sphinx + graph under POM",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,218 @@
+"""Command-line interface: regenerate paper artifacts from the terminal.
+
+Usage::
+
+    python -m repro list                  # what can be regenerated
+    python -m repro placement             # Fig 14's assignment (fast)
+    python -m repro preferences           # Figs 9-11 table
+    python -m repro fit                   # Fig 8 goodness-of-fit table
+    python -m repro motivation            # Figs 1-4 tables
+    python -m repro evaluate              # Figs 12-13 (takes ~1 min)
+    python -m repro tco                   # Fig 15 (takes ~1 min)
+    python -m repro validate              # fit diagnostics, all apps
+    python -m repro admission             # admission boundaries
+
+All commands accept ``--seed`` (default 7) for the profiling/fitting
+randomness.  The benchmark harness (``pytest benchmarks/``) remains the
+canonical reproduction path — the CLI is the quick look.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import format_table
+from repro.evaluation import (
+    evaluate_all_policies,
+    fig15_tco,
+    fig1_diurnal_overshoot,
+    fig2_power_overshoot,
+    fig3_capped_throughput,
+    fig4_load_spectrum,
+    fig8_goodness_of_fit,
+    fig9_10_11_preferences,
+    fit_catalog,
+    placement_for_policy,
+)
+
+COMMANDS = ("list", "placement", "preferences", "fit", "motivation",
+            "evaluate", "tco", "validate", "admission")
+
+
+def cmd_list(_catalog, _args) -> None:
+    print("Available commands:")
+    for name in COMMANDS[1:]:
+        print(f"  {name}")
+
+
+def cmd_placement(catalog, _args) -> None:
+    decision = placement_for_policy(catalog, "pocolo")
+    rows = [[be, lc] for be, lc in decision.mapping.items()]
+    print(format_table(["BE app", "LC server"], rows,
+                       title="POColo placement (Fig 14's assignment)"))
+
+
+def cmd_preferences(catalog, _args) -> None:
+    rows = [
+        [r.app_name, r.kind.upper(),
+         f"{r.direct_cores:.2f}:{r.direct_ways:.2f}",
+         f"{r.indirect_cores:.2f}:{r.indirect_ways:.2f}"]
+        for r in fig9_10_11_preferences(catalog)
+    ]
+    print(format_table(["app", "kind", "direct (F9)", "indirect (F11)"],
+                       rows, title="Preference vectors, cores:ways"))
+
+
+def cmd_fit(catalog, _args) -> None:
+    rows = [
+        [r.app_name, r.kind.upper(), r.r2_perf, r.r2_power, r.n_samples]
+        for r in fig8_goodness_of_fit(catalog)
+    ]
+    print(format_table(["app", "kind", "R2 perf", "R2 power", "samples"],
+                       rows, title="Fig 8 — goodness of fit"))
+
+
+def cmd_motivation(catalog, _args) -> None:
+    points, capacity = fig1_diurnal_overshoot()
+    over = sum(1 for p in points if p.power_colocated_w > capacity + 1e-9)
+    print(f"Fig 1: {over}/24 diurnal hours overshoot the {capacity:.0f} W capacity")
+    draws = fig2_power_overshoot()
+    print(format_table(
+        ["BE app", "colocated W"], [[n, w] for n, w in draws.items()],
+        precision=1, title="\nFig 2 — uncapped colocation power (cap 132 W)",
+    ))
+    print(format_table(
+        ["BE app", "drop under cap"],
+        [[r.be_name, f"{r.drop_fraction:.1%}"] for r in fig3_capped_throughput()],
+        title="\nFig 3 — throughput cost of the power cap",
+    ))
+    curves = fig4_load_spectrum()
+    rows = [
+        [level, lstm_t, rnn_t]
+        for (level, lstm_t), (_, rnn_t) in zip(curves["lstm"], curves["rnn"])
+    ]
+    print(format_table(["xapian load", "lstm", "rnn"], rows,
+                       title="\nFig 4 — BE throughput across the load range"))
+
+
+def cmd_evaluate(catalog, args) -> None:
+    print("Running the three-policy cluster evaluation (this takes a minute)...")
+    evals = evaluate_all_policies(
+        catalog, placement_seeds=range(args.seeds), duration_s=25.0
+    )
+    servers = list(catalog.lc_apps)
+    rows = [
+        [policy] + [ev.be_throughput_by_server[s] for s in servers]
+        + [ev.cluster_be_throughput]
+        for policy, ev in evals.items()
+    ]
+    print(format_table(["policy"] + servers + ["cluster"], rows,
+                       title="\nFig 12 — BE throughput by server"))
+    rows = [
+        [policy] + [ev.power_utilization_by_server[s] for s in servers]
+        + [ev.cluster_power_utilization]
+        for policy, ev in evals.items()
+    ]
+    print(format_table(["policy"] + servers + ["cluster"], rows,
+                       title="\nFig 13 — power utilization by server"))
+
+
+def cmd_validate(catalog, _args) -> None:
+    import numpy as np
+
+    from repro.core.profiler import (
+        default_profiling_grid,
+        profile_best_effort,
+        profile_latency_critical,
+    )
+    from repro.core.validation import diagnose_fit, leontief_samples
+
+    grid = default_profiling_grid(catalog.spec)
+    rng = np.random.default_rng(42)
+    rows = []
+    for name, app in catalog.lc_apps.items():
+        diag = diagnose_fit(
+            profile_latency_critical(app, grid, load_fraction=0.3, rng=rng)
+        )
+        rows.append([name, "LC", diag.residual_trend,
+                     "OK" if diag.trustworthy else "; ".join(diag.warnings)])
+    for name, app in catalog.be_apps.items():
+        diag = diagnose_fit(profile_best_effort(app, grid, rng))
+        rows.append([name, "BE", diag.residual_trend,
+                     "OK" if diag.trustworthy else "; ".join(diag.warnings)])
+    diag = diagnose_fit(leontief_samples())
+    rows.append(["leontief*", "stress", diag.residual_trend,
+                 "OK" if diag.trustworthy else f"{len(diag.warnings)} warnings"])
+    print(format_table(["app", "kind", "imbalance trend", "verdict"], rows,
+                       title="Fit diagnostics (leontief* = synthetic violator)"))
+
+
+def cmd_admission(catalog, _args) -> None:
+    from repro.core.admission import AdmissionController
+
+    lc_names = list(catalog.lc_apps)
+    rows = []
+    for be_name, be_fit in catalog.be_fits.items():
+        row = [be_name]
+        for lc_name in lc_names:
+            lc = catalog.lc_apps[lc_name]
+            controller = AdmissionController(
+                lc_model=catalog.lc_fits[lc_name].model,
+                peak_load=lc.peak_load,
+                provisioned_power_w=lc.peak_server_power_w(),
+                spec=catalog.spec,
+                min_be_throughput=0.10,
+            )
+            row.append(f"{controller.admission_boundary(be_fit.model, 50):.0%}")
+        rows.append(row)
+    print(format_table(["BE app"] + lc_names, rows,
+                       title="Admission boundaries (highest LC load still admitting)"))
+
+
+def cmd_tco(catalog, args) -> None:
+    print("Pricing the four policies (this takes a minute)...")
+    ev = fig15_tco(catalog, placement_seeds=range(args.seeds), duration_s=25.0)
+    rows = [
+        [name, b.servers_usd / 1e6, b.power_infra_usd / 1e6,
+         b.energy_usd / 1e6, b.total_usd / 1e6]
+        for name, b in ev.breakdowns.items()
+    ]
+    print(format_table(
+        ["policy", "servers $M", "infra $M", "energy $M", "total $M"],
+        rows, precision=2, title="\nFig 15 — amortized monthly TCO",
+    ))
+    print("\nPOColo savings:",
+          {k: f"{v:.1%}" for k, v in ev.savings_of_pocolo.items()})
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate Pocolo (IISWC 2020) paper artifacts.",
+    )
+    parser.add_argument("command", choices=COMMANDS, help="what to regenerate")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="profiling/fitting seed (default 7)")
+    parser.add_argument("--seeds", type=int, default=4,
+                        help="random-placement seeds for evaluate/tco")
+    args = parser.parse_args(argv)
+
+    catalog = fit_catalog(seed=args.seed) if args.command != "list" else None
+    handler = {
+        "list": cmd_list,
+        "placement": cmd_placement,
+        "preferences": cmd_preferences,
+        "fit": cmd_fit,
+        "motivation": cmd_motivation,
+        "evaluate": cmd_evaluate,
+        "tco": cmd_tco,
+        "validate": cmd_validate,
+        "admission": cmd_admission,
+    }[args.command]
+    handler(catalog, args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Analysis utilities: reporting tables and resampling statistics."""
+
+from repro.analysis.stats import (
+    Summary,
+    bootstrap_ci,
+    paired_diff_ci,
+    relative_gain_ci,
+)
+from repro.analysis.reporting import (
+    format_cell,
+    format_series,
+    format_table,
+    percent_change,
+)
+
+__all__ = [
+    "Summary",
+    "bootstrap_ci",
+    "paired_diff_ci",
+    "relative_gain_ci",
+    "format_cell",
+    "format_series",
+    "format_table",
+    "percent_change",
+]

@@ -1,0 +1,74 @@
+"""Best-effort (secondary) application model.
+
+A BE app harvests spare resources: it has no SLO, only throughput, and it
+is the tenant the power-cap loop throttles (Section IV-C).  Its paper
+representatives are deep-learning training (LSTM, RNN), graph analytics
+(PageRank) and compression (pbzip2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.base import ApplicationProfile, measured
+from repro.errors import ConfigError
+from repro.hwmodel.spec import Allocation
+
+
+@dataclass(frozen=True)
+class BestEffortApp:
+    """A secondary application: profile + absolute throughput scale.
+
+    Attributes
+    ----------
+    profile:
+        Ground-truth performance/power surfaces.
+    peak_throughput:
+        Absolute throughput at full allocation, max frequency, in
+        ``unit``.  Cross-application comparisons always use
+        *normalized* throughput (fraction of own peak), which is also
+        how the paper's bar charts are readable across apps.
+    unit:
+        Human-readable throughput unit (samples/s, Medges/s, MB/s).
+    """
+
+    profile: ApplicationProfile
+    peak_throughput: float
+    unit: str
+
+    def __post_init__(self) -> None:
+        if self.peak_throughput <= 0:
+            raise ConfigError("peak throughput must be positive")
+
+    @property
+    def name(self) -> str:
+        """Application name (e.g. ``"graph"``)."""
+        return self.profile.name
+
+    def normalized_throughput(self, alloc: Allocation) -> float:
+        """True throughput as a fraction of this app's own full-box peak."""
+        return self.profile.normalized_throughput(alloc)
+
+    def throughput(self, alloc: Allocation) -> float:
+        """True absolute throughput at ``alloc``, in ``unit``."""
+        return self.peak_throughput * self.normalized_throughput(alloc)
+
+    def measured_throughput(
+        self,
+        alloc: Allocation,
+        rng: Optional[np.random.Generator] = None,
+        noise_sigma: float = 0.0,
+    ) -> float:
+        """Absolute throughput with multiplicative telemetry noise."""
+        return measured(self.throughput(alloc), rng, noise_sigma)
+
+    def active_power_w(self, alloc: Allocation) -> float:
+        """True active power at ``alloc`` (duty cycle applied by the server)."""
+        return self.profile.active_power_w(alloc)
+
+    def uncapped_full_power_w(self) -> float:
+        """Active power when given the whole box at max frequency."""
+        return self.profile.active_power_w(self.profile.spec.full_allocation())

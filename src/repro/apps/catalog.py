@@ -1,0 +1,291 @@
+"""Calibrated application catalog — the paper's eight workloads.
+
+Every number here is anchored to the paper:
+
+* Table I — the Xeon E5-2650 reference server (:data:`REFERENCE_SPEC`).
+* Table II — LC peak load, p95/p99 SLOs and peak server power
+  (img-dnn 3500 rps / 133 W, sphinx 10 rps / 182 W, xapian 4000 rps /
+  154 W, TPC-C 8000 rps / 133 W).
+* Section III / V-C — the preference vectors: sphinx direct
+  cores:caches ≈ 0.6:0.4 but *indirect* ≈ 0.2:0.8; LSTM 0.32:0.68 →
+  ≈ 0.13:0.87; Graph indirect ≈ 0.8:0.2.
+* Section II-C — xapian at 10 % load runs on ~1 core / 2-3 ways at ~64 W;
+  naive colocation pushes the server to ~138-155 W against a 132 W
+  provisioned capacity (Fig 2); under a 70 W BE budget LSTM/RNN lose
+  ~3-4 % throughput and Graph ~20 % (Fig 3).
+
+Power coefficients are *derived*, not hand-tuned: given an app's direct
+elasticities (a_c, a_w), its target indirect preference vector
+(b_c, b_w) and its full-allocation active power A, the per-resource
+coefficients follow from
+
+    p_c / p_w = (a_c / a_w) * (b_w / b_c)        (definition of b_j ∝ a_j/p_j)
+    C * p_c + W * p_w = A - static                (calibration at full alloc)
+
+so the catalog stays consistent if any anchor is changed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.apps.base import ApplicationProfile, PerformanceSurface, PowerSurface
+from repro.apps.best_effort import BestEffortApp
+from repro.apps.latency import LatencySlo, TailLatencyModel
+from repro.apps.latency_critical import LatencyCriticalApp
+from repro.errors import ConfigError
+from repro.hwmodel.spec import ServerSpec
+
+#: The paper's testbed server (Table I defaults).
+REFERENCE_SPEC = ServerSpec()
+
+#: Provisioned power capacity used by the Section II-C motivation study
+#: (the text provisions the xapian cluster at 132 W; Table II separately
+#: lists xapian's peak at 154 W — see DESIGN.md "Known deviations").
+XAPIAN_MOTIVATION_CAPACITY_W = 132.0
+
+#: Per-server provisioning of the Random(NoCap) TCO baseline (Section V-F):
+#: the max power need across all primary applications.
+NOCAP_PROVISIONED_W = 185.0
+
+#: Names of the four latency-critical applications, in paper order.
+LC_NAMES: Tuple[str, ...] = ("img-dnn", "sphinx", "xapian", "tpcc")
+
+#: Names of the four best-effort applications, in paper order.
+BE_NAMES: Tuple[str, ...] = ("lstm", "rnn", "graph", "pbzip")
+
+
+def derive_power_coefficients(
+    alpha_cores: float,
+    alpha_ways: float,
+    pref_cores: float,
+    pref_ways: float,
+    full_active_w: float,
+    static_w: float,
+    spec: ServerSpec,
+) -> Tuple[float, float]:
+    """Solve (p_core, p_way) from elasticities, target preferences, and scale.
+
+    See the module docstring for the two defining equations.  The
+    preference vector need not be normalized; only its ratio matters.
+    """
+    if min(alpha_cores, alpha_ways, pref_cores, pref_ways) <= 0:
+        raise ConfigError("elasticities and preferences must be positive")
+    budget = full_active_w - static_w
+    if budget <= 0:
+        raise ConfigError("full-allocation active power must exceed static power")
+    ratio = (alpha_cores / alpha_ways) * (pref_ways / pref_cores)
+    p_way = budget / (spec.cores * ratio + spec.llc_ways)
+    p_core = ratio * p_way
+    return p_core, p_way
+
+
+def _profile(
+    name: str,
+    domain: str,
+    alpha_cores: float,
+    alpha_ways: float,
+    alpha_freq: float,
+    pref_cores: float,
+    pref_ways: float,
+    full_active_w: float,
+    static_w: float,
+    spec: ServerSpec,
+) -> ApplicationProfile:
+    p_core, p_way = derive_power_coefficients(
+        alpha_cores, alpha_ways, pref_cores, pref_ways, full_active_w, static_w, spec
+    )
+    return ApplicationProfile(
+        name=name,
+        domain=domain,
+        perf=PerformanceSurface(
+            alpha_cores=alpha_cores, alpha_ways=alpha_ways, alpha_freq=alpha_freq
+        ),
+        power=PowerSurface(p_core_w=p_core, p_way_w=p_way, static_w=static_w),
+        spec=spec,
+    )
+
+
+# ----------------------------------------------------------------------
+# Latency-critical applications (Table II)
+# ----------------------------------------------------------------------
+
+def make_img_dnn(spec: ServerSpec = REFERENCE_SPEC) -> LatencyCriticalApp:
+    """img-dnn: DNN image inference (Tailbench). 3500 rps peak, 133 W.
+
+    Compute-bound inference: strong frequency sensitivity, prefers cores
+    for performance-per-watt (indirect 0.75:0.25) — which is why LSTM,
+    the most cache-loving BE app, pairs with it (Fig 14).
+    """
+    profile = _profile(
+        "img-dnn", "image search", alpha_cores=0.55, alpha_ways=0.45,
+        alpha_freq=0.8, pref_cores=0.75, pref_ways=0.25,
+        full_active_w=133.0 - spec.idle_power_w, static_w=4.0, spec=spec,
+    )
+    slo = LatencySlo(p95_s=0.010, p99_s=0.020)
+    return LatencyCriticalApp(profile=profile, peak_load=3500.0,
+                              latency=TailLatencyModel(slo=slo))
+
+
+def make_sphinx(spec: ServerSpec = REFERENCE_SPEC) -> LatencyCriticalApp:
+    """sphinx: HMM speech recognition (Tailbench). 10 rps peak, 182 W.
+
+    The paper's running example: direct preferences favour cores
+    (0.6:0.4) but cores are so power-hungry for it that the indirect
+    preference flips to caches (≈0.2:0.8, Fig 11a) — making core-loving
+    Graph its complement (Section V-E).
+    """
+    profile = _profile(
+        "sphinx", "speech recognition", alpha_cores=0.60, alpha_ways=0.40,
+        alpha_freq=0.9, pref_cores=0.20, pref_ways=0.80,
+        full_active_w=182.0 - spec.idle_power_w, static_w=5.0, spec=spec,
+    )
+    slo = LatencySlo(p95_s=1.8, p99_s=3.03)
+    return LatencyCriticalApp(profile=profile, peak_load=10.0,
+                              latency=TailLatencyModel(slo=slo))
+
+
+def make_xapian(spec: ServerSpec = REFERENCE_SPEC) -> LatencyCriticalApp:
+    """xapian: web-search leaf node (Tailbench). 4000 rps peak, 154 W.
+
+    Cores are power-expensive for it, so its power-efficient expansion
+    path leans on ways (indirect 0.30:0.70) and the spare it leaves is
+    cores-rich — which is why the core-leaning RNN/pbzip pair with it
+    (Fig 14) and why "RNN derives better performance at all loads"
+    than the cache-loving LSTM (Fig 4).  At 10 % load its least-power
+    allocation lands on ~1 core / 2-3 ways at ~64 W total server draw —
+    the Section II-C anchor.
+    """
+    profile = _profile(
+        "xapian", "web search", alpha_cores=0.65, alpha_ways=0.35,
+        alpha_freq=0.7, pref_cores=0.30, pref_ways=0.70,
+        full_active_w=154.0 - spec.idle_power_w, static_w=4.5, spec=spec,
+    )
+    slo = LatencySlo(p95_s=0.002588, p99_s=0.004020)
+    return LatencyCriticalApp(profile=profile, peak_load=4000.0,
+                              latency=TailLatencyModel(slo=slo))
+
+
+def make_tpcc(spec: ServerSpec = REFERENCE_SPEC) -> LatencyCriticalApp:
+    """TPC-C: OLTP on MySQL. 8000 rps peak, 133 W.
+
+    Storage-bound: weak frequency sensitivity, mildly cache-preferring
+    indirect vector (0.45:0.55), huge p95→p99 gap (51 ms → 707 ms) as in
+    Table II.
+    """
+    profile = _profile(
+        "tpcc", "persistent database", alpha_cores=0.50, alpha_ways=0.50,
+        alpha_freq=0.5, pref_cores=0.45, pref_ways=0.55,
+        full_active_w=133.0 - spec.idle_power_w, static_w=6.0, spec=spec,
+    )
+    slo = LatencySlo(p95_s=0.051, p99_s=0.707)
+    return LatencyCriticalApp(profile=profile, peak_load=8000.0,
+                              latency=TailLatencyModel(slo=slo))
+
+
+# ----------------------------------------------------------------------
+# Best-effort applications (Section V-A)
+# ----------------------------------------------------------------------
+
+def make_lstm(spec: ServerSpec = REFERENCE_SPEC) -> BestEffortApp:
+    """LSTM sentiment-classification training (Keras).
+
+    Cache-loving (direct 0.32:0.68, indirect ≈0.13:0.87 as in
+    Section III) and the least power-hungry BE app — loses only ~3-4 %
+    throughput under the Fig 3 power budget.
+    """
+    profile = _profile(
+        "lstm", "deep learning training", alpha_cores=0.32, alpha_ways=0.68,
+        alpha_freq=0.40, pref_cores=0.13, pref_ways=0.87,
+        full_active_w=80.0, static_w=4.0, spec=spec,
+    )
+    return BestEffortApp(profile=profile, peak_throughput=900.0, unit="samples/s")
+
+
+def make_rnn(spec: ServerSpec = REFERENCE_SPEC) -> BestEffortApp:
+    """RNN addition-learning training (Keras).
+
+    Mildly core-leaning, low power: like LSTM it loses only ~3 % under
+    the Fig 3 budget, and its core preference lets it out-earn LSTM on
+    xapian's cores-rich spare at every load (Fig 4).
+    """
+    profile = _profile(
+        "rnn", "deep learning training", alpha_cores=0.50, alpha_ways=0.50,
+        alpha_freq=0.35, pref_cores=0.55, pref_ways=0.45,
+        full_active_w=80.0, static_w=4.0, spec=spec,
+    )
+    return BestEffortApp(profile=profile, peak_throughput=1400.0, unit="samples/s")
+
+
+def make_graph(spec: ServerSpec = REFERENCE_SPEC) -> BestEffortApp:
+    """PageRank on a Twitter-scale graph.
+
+    Core-loving indirect vector (0.8:0.2, Fig 11) and the most
+    power-hungry BE app — loses ~20 % under the Fig 3 power budget, and
+    is Pocolo's pick for the sphinx server (Fig 14).
+    """
+    profile = _profile(
+        "graph", "graph analytics", alpha_cores=0.70, alpha_ways=0.30,
+        alpha_freq=0.70, pref_cores=0.80, pref_ways=0.20,
+        full_active_w=100.0, static_w=5.0, spec=spec,
+    )
+    return BestEffortApp(profile=profile, peak_throughput=220.0, unit="Medges/s")
+
+
+def make_pbzip(spec: ServerSpec = REFERENCE_SPEC) -> BestEffortApp:
+    """pbzip2 parallel compression. Core-leaning, frequency-sensitive."""
+    profile = _profile(
+        "pbzip", "compression", alpha_cores=0.60, alpha_ways=0.40,
+        alpha_freq=0.80, pref_cores=0.60, pref_ways=0.40,
+        full_active_w=88.0, static_w=4.0, spec=spec,
+    )
+    return BestEffortApp(profile=profile, peak_throughput=480.0, unit="MB/s")
+
+
+# ----------------------------------------------------------------------
+# Registries
+# ----------------------------------------------------------------------
+
+_LC_BUILDERS = {
+    "img-dnn": make_img_dnn,
+    "sphinx": make_sphinx,
+    "xapian": make_xapian,
+    "tpcc": make_tpcc,
+}
+
+_BE_BUILDERS = {
+    "lstm": make_lstm,
+    "rnn": make_rnn,
+    "graph": make_graph,
+    "pbzip": make_pbzip,
+}
+
+
+def latency_critical_apps(spec: ServerSpec = REFERENCE_SPEC) -> Dict[str, LatencyCriticalApp]:
+    """All four LC apps keyed by name, in paper order."""
+    return {name: _LC_BUILDERS[name](spec) for name in LC_NAMES}
+
+
+def best_effort_apps(spec: ServerSpec = REFERENCE_SPEC) -> Dict[str, BestEffortApp]:
+    """All four BE apps keyed by name, in paper order."""
+    return {name: _BE_BUILDERS[name](spec) for name in BE_NAMES}
+
+
+def make_lc(name: str, spec: ServerSpec = REFERENCE_SPEC) -> LatencyCriticalApp:
+    """Build one LC app by name; raises :class:`ConfigError` on unknown names."""
+    try:
+        return _LC_BUILDERS[name](spec)
+    except KeyError:
+        raise ConfigError(
+            f"unknown latency-critical app {name!r}; choose from {LC_NAMES}"
+        ) from None
+
+
+def make_be(name: str, spec: ServerSpec = REFERENCE_SPEC) -> BestEffortApp:
+    """Build one BE app by name; raises :class:`ConfigError` on unknown names."""
+    try:
+        return _BE_BUILDERS[name](spec)
+    except KeyError:
+        raise ConfigError(
+            f"unknown best-effort app {name!r}; choose from {BE_NAMES}"
+        ) from None

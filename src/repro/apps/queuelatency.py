@@ -1,0 +1,177 @@
+"""Queue-backed tail latency: measured curves instead of a closed form.
+
+:class:`~repro.apps.latency.TailLatencyModel` is an analytic stand-in for
+a real server's latency behaviour.  This module offers the higher-
+fidelity alternative: :class:`QueueBackedLatencyModel` runs the
+discrete-event queue of :mod:`repro.sim.queueing` across a utilization
+grid at construction time, calibrates the resulting p99 curve to the
+application's SLO, and serves lookups by interpolation — so controllers
+can be exercised against latency dynamics that were *measured* from a
+queue rather than assumed.
+
+It duck-types the analytic model's full interface (``p99_s``, ``slack``,
+``max_load_for_slack``, ``capacity_for_load``, ``slo``), so it drops
+into :class:`~repro.apps.latency_critical.LatencyCriticalApp` unchanged:
+
+>>> from repro.apps import make_xapian
+>>> from dataclasses import replace
+>>> xapian = make_xapian()
+>>> queue_backed = replace(
+...     xapian, latency=QueueBackedLatencyModel(xapian.latency.slo))
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.latency import SATURATED_LATENCY_FACTOR, LatencySlo
+from repro.errors import ConfigError
+from repro.sim.queueing import QueueingConfig, simulate_queue
+
+#: Default utilization grid for the measurement pass.
+DEFAULT_RHO_GRID: Tuple[float, ...] = (
+    0.05, 0.2, 0.4, 0.6, 0.75, 0.85, 0.92, 0.97, 1.0,
+)
+
+
+class QueueBackedLatencyModel:
+    """Tail-latency behaviour measured from a queue, anchored to an SLO.
+
+    Parameters
+    ----------
+    slo:
+        The application's latency SLO.  The measured curve is rescaled so
+        the p99 at utilization 1.0 equals ``slo.p99_s`` — the same
+        anchoring as the analytic model, so "capacity" keeps meaning
+        "the load at which p99 hits the SLO".
+    workers:
+        Parallel servers in the queue (cores of a typical allocation).
+    service_cv:
+        Coefficient of variation of service times.
+    rho_grid:
+        Utilizations to measure; must be increasing and end at >= 1.0.
+    num_requests / seed:
+        Simulation depth per grid point and reproducibility.
+    """
+
+    def __init__(
+        self,
+        slo: LatencySlo,
+        workers: int = 4,
+        service_cv: float = 1.0,
+        rho_grid: Sequence[float] = DEFAULT_RHO_GRID,
+        num_requests: int = 8_000,
+        seed: int = 0,
+    ) -> None:
+        if len(rho_grid) < 3:
+            raise ConfigError("need at least 3 utilization points")
+        grid = [float(r) for r in rho_grid]
+        if grid != sorted(grid) or len(set(grid)) != len(grid):
+            raise ConfigError("the utilization grid must be strictly increasing")
+        if grid[0] <= 0 or grid[-1] < 1.0:
+            raise ConfigError("the grid must start above 0 and reach 1.0")
+        self.slo = slo
+        self._rhos: List[float] = grid
+        raw: List[float] = []
+        for rho in grid:
+            result = simulate_queue(
+                QueueingConfig(
+                    arrival_rate=rho * 1000.0,
+                    service_rate_total=1000.0,
+                    workers=workers,
+                    service_cv=service_cv,
+                    seed=seed,
+                ),
+                num_requests=num_requests,
+            )
+            raw.append(result.p99_s)
+        # Enforce monotonicity (simulation noise can produce tiny dips).
+        for i in range(1, len(raw)):
+            raw[i] = max(raw[i], raw[i - 1])
+        # Anchor: p99(rho = 1.0) == SLO.
+        anchor = raw[-1]
+        if anchor <= 0:
+            raise ConfigError("measured curve degenerate")  # pragma: no cover
+        self._p99s: List[float] = [p / anchor * slo.p99_s for p in raw]
+
+    # ------------------------------------------------------------------
+    @property
+    def base_latency_s(self) -> float:
+        """p99 at the lightest measured utilization."""
+        return self._p99s[0]
+
+    def p99_s(self, load: float, capacity: float) -> float:
+        """Interpolated p99 serving ``load`` on ``capacity``."""
+        if load < 0:
+            raise ConfigError("load cannot be negative")
+        ceiling = self.slo.p99_s * SATURATED_LATENCY_FACTOR
+        if capacity <= 0:
+            return ceiling
+        rho = load / capacity
+        return min(ceiling, self._interp(rho))
+
+    def slack(self, load: float, capacity: float) -> float:
+        """Latency slack ``1 - p99/SLO`` (positive = healthy)."""
+        return 1.0 - self.p99_s(load, capacity) / self.slo.p99_s
+
+    def max_load_for_slack(self, capacity: float, slack_target: float) -> float:
+        """Largest load keeping slack ≥ target (numeric inverse)."""
+        if not 0.0 <= slack_target < 1.0:
+            raise ConfigError("slack target must lie in [0, 1)")
+        if capacity <= 0:
+            return 0.0
+        target_p99 = (1.0 - slack_target) * self.slo.p99_s
+        rho = self._inverse(target_p99)
+        return rho * capacity
+
+    def capacity_for_load(self, load: float, slack_target: float) -> float:
+        """Smallest capacity serving ``load`` with slack ≥ target."""
+        if load <= 0:
+            return 0.0
+        per_unit = self.max_load_for_slack(1.0, slack_target)
+        if per_unit <= 0:
+            raise ConfigError(
+                f"slack target {slack_target} is unreachable at any load"
+            )
+        return load / per_unit
+
+    # ------------------------------------------------------------------
+    def _interp(self, rho: float) -> float:
+        rhos, p99s = self._rhos, self._p99s
+        if rho <= rhos[0]:
+            return p99s[0]
+        if rho >= rhos[-1]:
+            # Past the measured range: continue the last segment's slope
+            # (in log-latency), which blows up quickly past saturation.
+            # The exponent is clamped — callers cap at the saturation
+            # ceiling anyway, and np.exp overflows past ~709.
+            r0, r1 = rhos[-2], rhos[-1]
+            l0, l1 = np.log(p99s[-2]), np.log(p99s[-1])
+            slope = (l1 - l0) / (r1 - r0)
+            exponent = min(50.0 + l1, l1 + slope * (rho - r1))
+            return float(np.exp(exponent))
+        i = bisect.bisect_right(rhos, rho)
+        r0, r1 = rhos[i - 1], rhos[i]
+        l0, l1 = np.log(p99s[i - 1]), np.log(p99s[i])
+        frac = (rho - r0) / (r1 - r0)
+        return float(np.exp(l0 + frac * (l1 - l0)))
+
+    def _inverse(self, target_p99: float) -> float:
+        """Largest rho with interpolated p99 ≤ target (bisection)."""
+        if target_p99 <= self._p99s[0]:
+            return 0.0
+        lo, hi = 0.0, self._rhos[-1] * 2.0
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if self._interp(mid) <= target_p99:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def curve(self) -> List[Tuple[float, float]]:
+        """The calibrated (rho, p99) table, for inspection and plots."""
+        return list(zip(self._rhos, self._p99s))

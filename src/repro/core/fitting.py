@@ -1,0 +1,161 @@
+"""Model fitting: recover (a_j, p_j) from profiled samples (Section IV-A).
+
+"We estimate a_j and p_j using linear regression.  We transform the
+performance model into linear form using log transformation ...  After
+which, we estimate the performance parameters using least square method.
+Similarly, we estimate the power parameters also using least square
+method."
+
+Performance fit:  ``log(perf) = log(a0) + sum_j a_j log(r_j)``
+Power fit:        ``power = p_static + sum_j r_j p_j``
+
+Goodness of fit is reported as the coefficient of determination (R²),
+computed in the *original* (linear) space for both halves — the quantity
+Fig 8 plots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.utility import (
+    CobbDouglasParams,
+    IndirectUtilityModel,
+    LinearPowerParams,
+    RESOURCES,
+)
+from repro.errors import ModelFitError
+
+#: Smallest admissible fitted coefficient — keeps models strictly valid.
+_COEF_FLOOR = 1e-6
+
+
+@dataclass(frozen=True)
+class ProfileSample:
+    """One profiling observation: an allocation and what telemetry saw there.
+
+    ``perf`` is max-load-under-SLO for LC apps and throughput for BE apps
+    (Section IV-A); ``power_w`` is the application-attributed power from
+    the per-app power meter (includes the app's share of static power).
+    """
+
+    cores: int
+    ways: int
+    perf: float
+    power_w: float
+
+    def resources(self) -> Tuple[float, float]:
+        """The regressor vector ``(r_cores, r_ways)``."""
+        return (float(self.cores), float(self.ways))
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """A fitted indirect utility model plus its goodness-of-fit metrics."""
+
+    model: IndirectUtilityModel
+    r2_perf: float
+    r2_power: float
+    n_samples: int
+
+    def preference_vector(self):
+        """Shortcut to the fitted model's normalized a_j/p_j vector."""
+        return self.model.preference_vector()
+
+
+def r_squared(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """Coefficient of determination; 1.0 is a perfect fit.
+
+    Returns 1.0 for a degenerate zero-variance target hit exactly, and
+    can go negative for fits worse than predicting the mean.
+    """
+    y = np.asarray(actual, dtype=float)
+    f = np.asarray(predicted, dtype=float)
+    if y.shape != f.shape or y.size == 0:
+        raise ModelFitError("R² needs equal-length non-empty vectors")
+    ss_res = float(np.sum((y - f) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_performance(samples: Sequence[ProfileSample]) -> Tuple[CobbDouglasParams, float]:
+    """Log-linear least squares for ``(a0, a_j)``; returns (params, R²).
+
+    R² is computed on linear-space predictions.  Requires at least k+2
+    samples with positive performance and non-collinear regressors.
+    """
+    usable = [s for s in samples if s.perf > 0]
+    if len(usable) < 4:
+        raise ModelFitError(
+            f"performance fit needs >= 4 positive samples, got {len(usable)}"
+        )
+    design = np.array(
+        [[1.0, math.log(s.cores), math.log(s.ways)] for s in usable]
+    )
+    target = np.array([math.log(s.perf) for s in usable])
+    coef, _, rank, _ = np.linalg.lstsq(design, target, rcond=None)
+    if rank < design.shape[1]:
+        raise ModelFitError(
+            "degenerate profiling grid: vary both cores and ways"
+        )
+    alpha0 = math.exp(coef[0])
+    alphas = tuple(max(_COEF_FLOOR, float(a)) for a in coef[1:])
+    params = CobbDouglasParams(alpha0=alpha0, alphas=alphas)
+    predicted = [params.performance(s.resources()) for s in usable]
+    return params, r_squared([s.perf for s in usable], predicted)
+
+
+def fit_power(samples: Sequence[ProfileSample]) -> Tuple[LinearPowerParams, float]:
+    """Ordinary least squares for ``(p_static, p_j)``; returns (params, R²).
+
+    Coefficients that come out non-positive under noise are clamped to a
+    small floor and the remaining parameters are refit with those columns
+    fixed — a two-step projection that keeps the model valid without a
+    full NNLS dependency.
+    """
+    if len(samples) < 4:
+        raise ModelFitError(f"power fit needs >= 4 samples, got {len(samples)}")
+    design = np.array([[1.0, float(s.cores), float(s.ways)] for s in samples])
+    target = np.array([s.power_w for s in samples])
+    coef, _, rank, _ = np.linalg.lstsq(design, target, rcond=None)
+    if rank < design.shape[1]:
+        raise ModelFitError("degenerate profiling grid: vary both cores and ways")
+
+    p_static = float(coef[0])
+    p = [float(coef[1]), float(coef[2])]
+    clamped = [j for j in range(2) if p[j] <= 0]
+    if clamped:
+        # Fix offending coefficients at the floor, refit the rest.
+        fixed_contrib = np.zeros(len(samples))
+        free_cols = [0] + [1 + j for j in range(2) if j not in clamped]
+        for j in clamped:
+            p[j] = _COEF_FLOOR
+            fixed_contrib += design[:, 1 + j] * _COEF_FLOOR
+        sub = design[:, free_cols]
+        sub_coef, _, _, _ = np.linalg.lstsq(sub, target - fixed_contrib, rcond=None)
+        p_static = float(sub_coef[0])
+        idx = 1
+        for j in range(2):
+            if j not in clamped:
+                p[j] = max(_COEF_FLOOR, float(sub_coef[idx]))
+                idx += 1
+    p_static = max(0.0, p_static)
+    params = LinearPowerParams(p_static=p_static, p=(p[0], p[1]))
+    predicted = [params.power(s.resources()) for s in samples]
+    return params, r_squared([s.power_w for s in samples], predicted)
+
+
+def fit_indirect_utility(samples: Sequence[ProfileSample]) -> FitResult:
+    """Fit both halves of the model from one sample set (Fig 7, step I)."""
+    perf_params, r2_p = fit_performance(samples)
+    power_params, r2_w = fit_power(samples)
+    model = IndirectUtilityModel(perf=perf_params, power=power_params, names=RESOURCES)
+    return FitResult(
+        model=model, r2_perf=r2_p, r2_power=r2_w, n_samples=len(samples)
+    )

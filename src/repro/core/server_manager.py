@@ -1,0 +1,369 @@
+"""Server-level resource management (Section IV-C).
+
+Two managers share one job — keep the primary latency-critical app inside
+its SLO with at least a target latency slack, and hand everything else to
+the best-effort app — but differ in *which* feasible allocation they pick
+for the primary:
+
+* :class:`HeraclesLikeManager` — the paper's baseline: a pure
+  feedback controller in the style of Heracles [6].  It grows/shrinks the
+  primary's allocation along a balanced path through the indifference
+  region; "resources are not differentiated by their power use"
+  (Section V-D).
+* :class:`PowerOptimizedManager` (POM) — the paper's contribution: on a
+  load or slack change it jumps straight to the *least-power* allocation
+  the fitted Cobb-Douglas indirect utility model predicts for the current
+  load ("done trivially using the analytical solution ... a constant time
+  operation"), then fine-tunes with latency feedback — including a
+  frequency trim when even the smallest allocation leaves excess slack.
+
+Neither manager touches the best-effort tenant's frequency or duty cycle:
+those belong to the power-cap loop
+(:class:`~repro.hwmodel.capping.PowerCapController`).  The managers only
+resize the BE app into whatever direct resources are spare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.utility import IndirectUtilityModel, integer_min_power_allocation
+from repro.errors import CapacityError, ConfigError
+from repro.hwmodel.server import Server
+from repro.hwmodel.spec import Allocation
+
+#: The paper's latency-slack target (Sections IV-C, V-D).
+DEFAULT_SLACK_TARGET = 0.10
+
+#: Slack above which managers consider the primary over-provisioned.
+DEFAULT_SLACK_UPPER = 0.45
+
+
+@dataclass
+class ManagerStats:
+    """Counters for controller activity, used by reports and ablations."""
+
+    control_steps: int = 0
+    reconfigurations: int = 0
+    slo_violations: int = 0
+    grow_actions: int = 0
+    shrink_actions: int = 0
+
+    @property
+    def violation_fraction(self) -> float:
+        """Fraction of control steps observed below zero slack."""
+        return self.slo_violations / self.control_steps if self.control_steps else 0.0
+
+
+class ServerManagerBase:
+    """Shared plumbing: slack bookkeeping and BE spare-resource handoff.
+
+    Subclasses implement :meth:`_decide_primary_allocation`; the base
+    class applies it (shrinking the BE tenant first so the primary's
+    claim always succeeds — absolute priority) and then grants the BE
+    tenant the new spare resources, preserving whatever frequency and
+    duty cycle the power-cap loop last imposed.
+    """
+
+    power_aware = False
+
+    def __init__(
+        self,
+        server: Server,
+        slack_target: float = DEFAULT_SLACK_TARGET,
+        slack_upper: float = DEFAULT_SLACK_UPPER,
+    ) -> None:
+        if not 0.0 <= slack_target < 1.0:
+            raise ConfigError("slack target must lie in [0, 1)")
+        if slack_upper <= slack_target:
+            raise ConfigError("upper slack threshold must exceed the target")
+        self.server = server
+        self.slack_target = slack_target
+        self.slack_upper = slack_upper
+        self.stats = ManagerStats()
+        if server.primary_tenant() is None:
+            raise ConfigError("server has no primary tenant to manage")
+
+    # ------------------------------------------------------------------
+    def control_step(self, measured_load: float, measured_slack: float) -> Allocation:
+        """One 1-second control decision (Section IV-C cadence).
+
+        ``measured_load`` is the primary's current offered load in its
+        own units; ``measured_slack`` is the observed p99 latency slack
+        (1 - p99/SLO).  Returns the primary allocation now in force.
+        """
+        if measured_load < 0:
+            raise ConfigError("measured load cannot be negative")
+        self.stats.control_steps += 1
+        if measured_slack < 0:
+            self.stats.slo_violations += 1
+
+        primary = self.server.primary_tenant()
+        assert primary is not None
+        current = self.server.allocation_of(primary)
+        target = self._decide_primary_allocation(current, measured_load, measured_slack)
+        if target != current:
+            self._apply_primary(primary, target)
+            self.stats.reconfigurations += 1
+        else:
+            self._refresh_secondary()
+        return self.server.allocation_of(primary)
+
+    # ------------------------------------------------------------------
+    def _decide_primary_allocation(
+        self, current: Allocation, measured_load: float, measured_slack: float
+    ) -> Allocation:
+        raise NotImplementedError
+
+    def _apply_primary(self, primary: str, target: Allocation) -> None:
+        be = self.server.secondary_tenant()
+        be_state: Optional[Allocation] = None
+        if be is not None:
+            # Make room first: the primary has absolute priority — but
+            # remember the BE tenant's throttle state across the move.
+            be_state = self.server.allocation_of(be)
+            self.server.release_allocation(be)
+        self.server.apply_allocation(primary, target)
+        self._refresh_secondary(previous=be_state)
+
+    def _refresh_secondary(self, previous: Optional[Allocation] = None) -> None:
+        """Grant the BE tenant everything the primary does not hold.
+
+        The spare is computed against the *primary's* holdings (not the
+        server's free pool — the BE tenant's own current holdings are
+        spare by definition), so a steady primary leaves the BE
+        allocation untouched.
+        """
+        be = self.server.secondary_tenant()
+        if be is None:
+            return
+        primary = self.server.primary_tenant()
+        assert primary is not None
+        prim = self.server.allocation_of(primary)
+        spec = self.server.spec
+        cores = spec.cores - prim.cores
+        ways = spec.llc_ways - prim.ways
+        current = self.server.allocation_of(be)
+        if previous is None:
+            previous = current
+        if cores <= 0 or ways <= 0:
+            if not current.is_empty:
+                self.server.release_allocation(be)
+            return
+        freq = previous.freq_ghz if not previous.is_empty else spec.max_freq_ghz
+        duty = previous.duty_cycle if not previous.is_empty else 1.0
+        desired = Allocation(
+            cores=cores, ways=ways,
+            freq_ghz=spec.ladder.clamp(freq), duty_cycle=duty,
+        )
+        if desired != current:
+            self.server.release_allocation(be)
+            self.server.apply_allocation(be, desired)
+
+
+class HeraclesLikeManager(ServerManagerBase):
+    """Power-unaware feedback baseline (the Random policy's server half).
+
+    Grows the primary when slack is below target and shrinks it when
+    slack is comfortably above, moving along a *balanced* path: resources
+    are added/removed in proportion to the server's core:way ratio, so
+    the controller walks the indifference region without ever asking
+    which direction is cheaper in watts.
+
+    Heracles-style asymmetry keeps the SLO safe: growth is immediate and
+    opens a shrink cooldown; shrinking needs ``shrink_patience``
+    consecutive high-slack observations; and any slack shortfall right
+    after a shrink re-establishes the previous size as a floor that
+    decays only after ``floor_ttl`` steps (so a load drop can reclaim it).
+
+    ``path`` selects how the walk moves through the indifference region:
+    ``"balanced"`` (default) scales both resources in the server's
+    core:way proportion; ``"random"`` picks the axis to grow or shrink
+    uniformly at random — the paper's literal "any one of the feasible
+    allocations in the indifference curve" baseline.
+    """
+
+    power_aware = False
+
+    def __init__(
+        self,
+        server: Server,
+        slack_target: float = DEFAULT_SLACK_TARGET,
+        slack_upper: float = DEFAULT_SLACK_UPPER,
+        shrink_patience: int = 3,
+        grow_cooldown: int = 5,
+        floor_ttl: int = 60,
+        path: str = "balanced",
+        seed: int = 0,
+    ) -> None:
+        super().__init__(server, slack_target=slack_target, slack_upper=slack_upper)
+        if shrink_patience < 1 or grow_cooldown < 0 or floor_ttl < 0:
+            raise ConfigError("controller pacing parameters must be non-negative")
+        if path not in ("balanced", "random"):
+            raise ConfigError(f"unknown allocation path {path!r}")
+        self.shrink_patience = shrink_patience
+        self.grow_cooldown = grow_cooldown
+        self.floor_ttl = floor_ttl
+        self.path = path
+        self._walk_rng = np.random.default_rng(seed)
+        self._high_slack_streak = 0
+        self._cooldown = 0
+        self._floor_cores = 1
+        self._floor_age = 0
+
+    def _decide_primary_allocation(
+        self, current: Allocation, measured_load: float, measured_slack: float
+    ) -> Allocation:
+        spec = self.server.spec
+        if current.is_empty:
+            return self._balanced(1)
+        if self._cooldown > 0:
+            self._cooldown -= 1
+        self._floor_age += 1
+        if self._floor_age > self.floor_ttl:
+            self._floor_cores = 1
+
+        if measured_slack < self.slack_target:
+            # Starved: grow immediately, remember this size as unsafe to
+            # revisit, and block shrinking for a while.
+            self.stats.grow_actions += 1
+            self._high_slack_streak = 0
+            self._cooldown = self.grow_cooldown
+            self._floor_cores = min(spec.cores, current.cores + 1)
+            self._floor_age = 0
+            return self._grow(current)
+
+        if measured_slack > self.slack_upper:
+            self._high_slack_streak += 1
+            can_shrink = (
+                self._cooldown == 0
+                and self._high_slack_streak >= self.shrink_patience
+                and current.cores - 1 >= self._floor_cores
+            )
+            if can_shrink:
+                self.stats.shrink_actions += 1
+                self._high_slack_streak = 0
+                return self._shrink(current)
+        else:
+            self._high_slack_streak = 0
+        return current
+
+    def _grow(self, current: Allocation) -> Allocation:
+        """One step up, along the configured path through the region."""
+        spec = self.server.spec
+        if self.path == "balanced":
+            return self._balanced(current.cores + 1)
+        options = []
+        if current.cores + 1 <= spec.cores:
+            options.append((current.cores + 1, current.ways))
+        if current.ways + 2 <= spec.llc_ways:
+            options.append((current.cores, current.ways + 2))
+        if not options:
+            return self._balanced(current.cores + 1)
+        c, w = options[int(self._walk_rng.integers(len(options)))]
+        return Allocation(cores=c, ways=w, freq_ghz=spec.max_freq_ghz)
+
+    def _shrink(self, current: Allocation) -> Allocation:
+        """One step down, along the configured path through the region."""
+        spec = self.server.spec
+        if self.path == "balanced":
+            return self._balanced(current.cores - 1)
+        options = []
+        if current.cores - 1 >= self._floor_cores:
+            options.append((current.cores - 1, current.ways))
+        if current.ways - 2 >= 1:
+            options.append((current.cores, current.ways - 2))
+        if not options:
+            return current
+        c, w = options[int(self._walk_rng.integers(len(options)))]
+        return Allocation(cores=c, ways=w, freq_ghz=spec.max_freq_ghz)
+
+    def _balanced(self, cores: int) -> Allocation:
+        """A feasible indifference-region point on the balanced path."""
+        spec = self.server.spec
+        way_per_core = spec.llc_ways / spec.cores
+        c = max(1, min(spec.cores, cores))
+        w = max(1, min(spec.llc_ways, round(c * way_per_core)))
+        return Allocation(cores=c, ways=w, freq_ghz=spec.max_freq_ghz)
+
+
+class PowerOptimizedManager(ServerManagerBase):
+    """POM: model-guided least-power allocation + latency feedback.
+
+    Parameters
+    ----------
+    server:
+        The managed server (primary tenant already attached).
+    model:
+        The primary app's *fitted* indirect utility model; its
+        performance unit is max-load-under-SLO, i.e. the same unit as
+        ``measured_load``.
+    headroom:
+        Initial multiplicative load margin when translating measured
+        load into a capacity target.  Adapted online by feedback within
+        [min_headroom, max_headroom].
+    freq_trim:
+        Allow stepping the primary's core frequency down when slack
+        stays high at the smallest allocation (the "including core
+        frequency" fine-tuning of Section IV-C).
+    """
+
+    power_aware = True
+
+    def __init__(
+        self,
+        server: Server,
+        model: IndirectUtilityModel,
+        slack_target: float = DEFAULT_SLACK_TARGET,
+        slack_upper: float = DEFAULT_SLACK_UPPER,
+        headroom: float = 1.20,
+        min_headroom: float = 1.05,
+        max_headroom: float = 2.50,
+        freq_trim: bool = True,
+    ) -> None:
+        super().__init__(server, slack_target=slack_target, slack_upper=slack_upper)
+        if not min_headroom <= headroom <= max_headroom:
+            raise ConfigError("need min_headroom <= headroom <= max_headroom")
+        self.model = model
+        self.headroom = headroom
+        self.min_headroom = min_headroom
+        self.max_headroom = max_headroom
+        self.freq_trim = freq_trim
+
+    def _decide_primary_allocation(
+        self, current: Allocation, measured_load: float, measured_slack: float
+    ) -> Allocation:
+        spec = self.server.spec
+
+        # Feedback on the adaptive headroom: starved -> widen fast,
+        # lavish -> narrow slowly (asymmetric, SLO-safety first).
+        if measured_slack < self.slack_target:
+            self.stats.grow_actions += 1
+            self.headroom = min(self.max_headroom, self.headroom * 1.25)
+        elif measured_slack > self.slack_upper:
+            self.stats.shrink_actions += 1
+            self.headroom = max(self.min_headroom, self.headroom * 0.93)
+
+        target_capacity = max(measured_load, 1e-9) * self.headroom
+        floor_perf = self.model.performance((1.0, 1.0))
+        full_perf = self.model.performance((float(spec.cores), float(spec.llc_ways)))
+        target_capacity = min(max(target_capacity, floor_perf), full_perf)
+        try:
+            alloc = integer_min_power_allocation(self.model, target_capacity, spec)
+        except CapacityError:  # pragma: no cover - clamped above
+            alloc = spec.full_allocation()
+
+        # Frequency fine-tuning: when the smallest allocation still
+        # leaves lavish slack, shed watts via DVFS; any slack shortfall
+        # snaps the frequency back to maximum before resources grow.
+        freq = spec.max_freq_ghz
+        if self.freq_trim and not current.is_empty:
+            at_floor = alloc.cores == current.cores and alloc.ways == current.ways
+            if measured_slack > self.slack_upper and at_floor:
+                freq = spec.ladder.step_down(current.freq_ghz)
+            elif measured_slack >= self.slack_target:
+                freq = current.freq_ghz
+        return Allocation(cores=alloc.cores, ways=alloc.ways, freq_ghz=freq)

@@ -1,0 +1,124 @@
+"""Capacity planning: right-sizing power for a primary application.
+
+Section II-A: "datacenters right-size their infrastructure based on the
+needs of the primary application in the cluster ... incorporating their
+knowledge of application characteristics, estimated resource needs, and
+demand projections into long-term capacity planning."
+
+This module makes that planning step executable: given a latency-critical
+application and its projected load trace, compute the provisioned power
+capacity (the peak draw of the power-efficient operation over the trace),
+the server count for a projected aggregate demand, and the stranded-power
+profile that motivates harvesting in the first place.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.apps.latency_critical import LatencyCriticalApp
+from repro.errors import ConfigError
+from repro.evaluation.motivation import true_min_power_allocation
+from repro.workloads.traces import LoadTrace
+
+
+@dataclass(frozen=True)
+class PowerPlan:
+    """A right-sized power plan for one LC cluster."""
+
+    app_name: str
+    provisioned_power_w: float
+    peak_load_fraction: float
+    mean_draw_w: float
+    stranded_fraction: float
+
+    @property
+    def stranded_w(self) -> float:
+        """Average provisioned-but-unused watts per server."""
+        return self.provisioned_power_w - self.mean_draw_w
+
+
+def plan_power(
+    lc: LatencyCriticalApp,
+    trace: LoadTrace,
+    horizon_s: float = 86400.0,
+    samples: int = 96,
+    safety_margin: float = 0.02,
+    slack_target: float = 0.0,
+) -> PowerPlan:
+    """Right-size a server's power capacity for ``lc`` under ``trace``.
+
+    Samples the trace, computes the least-power draw that serves each
+    sampled load with ``slack_target`` latency slack, and provisions the
+    maximum plus a ``safety_margin``.  Also reports the mean draw and
+    the stranded fraction — the quantity harvesting recovers.
+    """
+    if samples < 2:
+        raise ConfigError("need at least two trace samples")
+    if horizon_s <= 0:
+        raise ConfigError("horizon must be positive")
+    if safety_margin < 0:
+        raise ConfigError("safety margin cannot be negative")
+    draws: List[float] = []
+    peak_fraction = 0.0
+    for i in range(samples):
+        t = horizon_s * i / samples
+        fraction = trace.load_fraction(t)
+        peak_fraction = max(peak_fraction, fraction)
+        alloc = true_min_power_allocation(lc, fraction, slack_target=slack_target)
+        draws.append(lc.profile.server_power_w(alloc))
+    provisioned = max(draws) * (1.0 + safety_margin)
+    mean_draw = sum(draws) / len(draws)
+    return PowerPlan(
+        app_name=lc.name,
+        provisioned_power_w=provisioned,
+        peak_load_fraction=peak_fraction,
+        mean_draw_w=mean_draw,
+        stranded_fraction=1.0 - mean_draw / provisioned,
+    )
+
+
+def servers_for_demand(
+    lc: LatencyCriticalApp,
+    aggregate_peak_load: float,
+    target_utilization: float = 0.75,
+) -> int:
+    """Server count serving an aggregate peak demand.
+
+    ``target_utilization`` keeps per-server peak below capacity (load
+    dispersion, failure headroom); the paper's clusters are right-sized
+    per primary app, so this is per-cluster arithmetic.
+    """
+    if aggregate_peak_load <= 0:
+        raise ConfigError("aggregate demand must be positive")
+    if not 0.0 < target_utilization <= 1.0:
+        raise ConfigError("target utilization must lie in (0, 1]")
+    per_server = lc.peak_load * target_utilization
+    return max(1, math.ceil(aggregate_peak_load / per_server))
+
+
+def stranded_power_profile(
+    lc: LatencyCriticalApp,
+    trace: LoadTrace,
+    provisioned_power_w: Optional[float] = None,
+    horizon_s: float = 86400.0,
+    samples: int = 24,
+) -> List[Tuple[float, float]]:
+    """(time, stranded watts) over the horizon — Fig 1's harvesting gap.
+
+    Stranded watts = provisioned capacity minus the LC's power-efficient
+    draw at that instant; the budget Pocolo hands to best-effort work.
+    """
+    if samples < 1:
+        raise ConfigError("need at least one sample")
+    if provisioned_power_w is None:
+        provisioned_power_w = plan_power(lc, trace, horizon_s=horizon_s).provisioned_power_w
+    profile = []
+    for i in range(samples):
+        t = horizon_s * i / samples
+        alloc = true_min_power_allocation(lc, trace.load_fraction(t))
+        draw = lc.profile.server_power_w(alloc)
+        profile.append((t, max(0.0, provisioned_power_w - draw)))
+    return profile

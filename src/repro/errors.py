@@ -1,0 +1,44 @@
+"""Exception hierarchy shared across the Pocolo reproduction.
+
+Every error raised by ``repro`` derives from :class:`ReproError`, so callers
+can catch the whole family with a single ``except`` clause while still being
+able to discriminate the common failure modes (bad allocations, infeasible
+demands, solver failures).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class AllocationError(ReproError):
+    """An allocation request violates server capacity or validity rules.
+
+    Raised when asking for more cores/LLC ways than the server has, when
+    two tenants would overlap on an isolated resource, or when a frequency
+    outside the supported DVFS ladder is requested.
+    """
+
+
+class CapacityError(ReproError):
+    """A demand cannot be satisfied by the available spare capacity."""
+
+
+class ModelFitError(ReproError):
+    """Utility-model fitting failed (degenerate design matrix, no samples,
+    or non-positive observations that cannot be log-transformed)."""
+
+
+class SolverError(ReproError):
+    """An optimization solver (simplex LP, Hungarian) failed to converge or
+    was handed an ill-formed problem (non-square matrix, NaNs, ...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration values (negative power, empty load range, ...)."""

@@ -1,0 +1,128 @@
+"""Experiment drivers: one callable per paper table/figure.
+
+The benchmark harness under ``benchmarks/`` and the examples under
+``examples/`` are thin wrappers around this package.
+"""
+
+from repro.evaluation.ablations import (
+    CalibrationTrialRow,
+    ablate_calibration_sensitivity,
+    SampleBudgetRow,
+    SlackAblationRow,
+    SolverAblationRow,
+    ablate_sample_budget,
+    ablate_slack_target,
+    ablate_solver_choice,
+)
+from repro.evaluation.characterization import (
+    FIG5_LEVELS,
+    FitQualityRow,
+    IndifferenceFigure,
+    PreferenceRow,
+    fig5_indifference,
+    fig6_edgeworth,
+    fig8_goodness_of_fit,
+    fig9_10_11_preferences,
+)
+from repro.evaluation.colocation_eval import (
+    Fig14Result,
+    PlacementCurve,
+    PolicyEvaluation,
+    evaluate_all_policies,
+    evaluate_policy,
+    fig14_placement_comparison,
+    measure_placement,
+)
+from repro.evaluation.motivation import (
+    CappedThroughput,
+    DiurnalPoint,
+    fig1_diurnal_overshoot,
+    fig2_power_overshoot,
+    fig3_capped_throughput,
+    fig4_load_spectrum,
+    true_min_power_allocation,
+)
+from repro.evaluation.pipeline import (
+    POLICIES,
+    POLICY_RANDOM_NOCAP,
+    FittedCatalog,
+    PolicySummary,
+    cluster_plans,
+    fit_catalog,
+    manager_factory,
+    placement_for_policy,
+    run_policy,
+    summarize_policy,
+)
+from repro.evaluation.replacement import (
+    ReplacementComparison,
+    compare_replacement,
+    matrix_at_loads,
+    phase_loads,
+)
+from repro.evaluation.sharing import (
+    SchedulerComparisonRow,
+    SharingModeResult,
+    compare_schedulers,
+    compare_sharing_modes,
+)
+from repro.evaluation.tco_eval import (
+    FIG15_POLICIES,
+    TcoEvaluation,
+    fig15_tco,
+    measure_operating_points,
+)
+
+__all__ = [
+    "CappedThroughput",
+    "SampleBudgetRow",
+    "SlackAblationRow",
+    "SolverAblationRow",
+    "CalibrationTrialRow",
+    "ablate_calibration_sensitivity",
+    "ablate_sample_budget",
+    "ablate_slack_target",
+    "ablate_solver_choice",
+    "SchedulerComparisonRow",
+    "SharingModeResult",
+    "compare_schedulers",
+    "compare_sharing_modes",
+    "ReplacementComparison",
+    "compare_replacement",
+    "matrix_at_loads",
+    "phase_loads",
+    "DiurnalPoint",
+    "FIG15_POLICIES",
+    "FIG5_LEVELS",
+    "Fig14Result",
+    "FitQualityRow",
+    "FittedCatalog",
+    "IndifferenceFigure",
+    "POLICIES",
+    "POLICY_RANDOM_NOCAP",
+    "PlacementCurve",
+    "PolicyEvaluation",
+    "PolicySummary",
+    "PreferenceRow",
+    "cluster_plans",
+    "evaluate_all_policies",
+    "evaluate_policy",
+    "fig14_placement_comparison",
+    "fig15_tco",
+    "fig1_diurnal_overshoot",
+    "fig2_power_overshoot",
+    "fig3_capped_throughput",
+    "fig4_load_spectrum",
+    "fig5_indifference",
+    "fig6_edgeworth",
+    "fig8_goodness_of_fit",
+    "fig9_10_11_preferences",
+    "fit_catalog",
+    "manager_factory",
+    "measure_operating_points",
+    "measure_placement",
+    "placement_for_policy",
+    "run_policy",
+    "summarize_policy",
+    "true_min_power_allocation",
+]

@@ -1,0 +1,150 @@
+"""LLC way partitioning — the Intel Cache Allocation Technology layer.
+
+Intel CAT expresses an LLC partition as a *capacity bitmask* (CBM) of
+ways; hardware requires the mask to be a contiguous run of set bits.  The
+paper assigns disjoint way masks to the primary and secondary application
+(Section V-A); the spatial-sharing extension of Section V-G needs several
+best-effort masks to coexist.  :class:`CacheAllocator` supports both:
+each tenant owns a contiguous, non-overlapping run of ways — the primary
+(anchor) growing from way 0 upward and every other tenant packed downward
+from the top way in first-assignment order.  Resizing a non-anchor tenant
+re-stacks the non-anchor runs; the anchor's mask never moves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AllocationError
+from repro.hwmodel.spec import ServerSpec
+
+
+class CacheAllocator:
+    """Contiguous, exclusive LLC way masks per tenant (CAT semantics)."""
+
+    def __init__(self, spec: ServerSpec, primary_tenant: Optional[str] = None) -> None:
+        self._spec = spec
+        self._primary = primary_tenant
+        #: tenant -> (first_way, count); anchor at way 0, others stacked high.
+        self._runs: Dict[str, Tuple[int, int]] = {}
+        #: non-anchor tenants in first-assignment (stacking) order.
+        self._stack_order: List[str] = []
+
+    @property
+    def total_ways(self) -> int:
+        """Number of LLC ways managed by this allocator."""
+        return self._spec.llc_ways
+
+    def set_primary(self, tenant: str) -> None:
+        """Declare which tenant anchors at way 0 (the latency-critical app)."""
+        self._primary = tenant
+
+    def ways_of(self, tenant: str) -> int:
+        """Number of ways currently masked to ``tenant``."""
+        run = self._runs.get(tenant)
+        return 0 if run is None else run[1]
+
+    def mask_of(self, tenant: str) -> int:
+        """The CAT capacity bitmask for ``tenant`` (contiguous run of bits)."""
+        run = self._runs.get(tenant)
+        if run is None or run[1] == 0:
+            return 0
+        first, count = run
+        return ((1 << count) - 1) << first
+
+    def free_ways(self) -> int:
+        """Ways not covered by any tenant mask."""
+        return self._spec.llc_ways - sum(count for _, count in self._runs.values())
+
+    def assign(self, tenant: str, count: int) -> int:
+        """(Re)mask ``tenant`` to ``count`` contiguous ways.
+
+        The anchor tenant (the declared primary, or — with no primary
+        declared — the first tenant assigned) occupies ways
+        ``[0, count)``; every other tenant occupies a run packed downward
+        from the top way, stacked in first-assignment order, so any
+        number of best-effort tenants can share the spare ways.  A
+        request that cannot fit raises :class:`AllocationError` and
+        leaves every mask unchanged.  Returns the resulting CAT bitmask.
+        """
+        if count < 0:
+            raise AllocationError("way count cannot be negative")
+        if count > self._spec.llc_ways:
+            raise AllocationError(
+                f"{count} ways requested, server has {self._spec.llc_ways}"
+            )
+        anchor = self._anchor_tenant()
+        is_anchor = (tenant == anchor) or (anchor is None)
+
+        if count == 0:
+            self._runs.pop(tenant, None)
+            if tenant in self._stack_order:
+                self._stack_order.remove(tenant)
+            self._restack(self._anchor_tenant())
+            return 0
+
+        anchor_count = (
+            count if is_anchor
+            else (self._runs[anchor][1] if anchor in self._runs else 0)
+        )
+        others_total = sum(
+            run_count
+            for name, (_, run_count) in self._runs.items()
+            if name != tenant and name != anchor
+        )
+        total = anchor_count + others_total + (0 if is_anchor else count)
+        if total > self._spec.llc_ways:
+            raise AllocationError(
+                f"way mask for {tenant!r} ({count} ways) does not fit next "
+                f"to the other tenants"
+            )
+        self._runs[tenant] = (0, count)  # offset fixed by the restack
+        if is_anchor:
+            if tenant in self._stack_order:
+                self._stack_order.remove(tenant)
+        elif tenant not in self._stack_order:
+            self._stack_order.append(tenant)
+        self._restack(tenant if is_anchor else anchor)
+        return self.mask_of(tenant)
+
+    def release(self, tenant: str) -> None:
+        """Remove ``tenant``'s mask entirely."""
+        self._runs.pop(tenant, None)
+        if tenant in self._stack_order:
+            self._stack_order.remove(tenant)
+        self._restack(self._anchor_tenant())
+
+    def snapshot(self) -> Dict[str, Tuple[int, int]]:
+        """Copy of the tenant -> (first_way, count) table for telemetry."""
+        return dict(self._runs)
+
+    # ------------------------------------------------------------------
+    def _anchor_tenant(self) -> Optional[str]:
+        """The way-0 tenant: the declared primary, else the current one."""
+        if self._primary is not None:
+            return self._primary
+        for name in self._runs:
+            if name not in self._stack_order:
+                return name
+        return None
+
+    def _restack(self, anchor: Optional[str]) -> None:
+        """Pack non-anchor runs downward from the top, in stack order."""
+        if anchor is not None and anchor in self._runs:
+            self._runs[anchor] = (0, self._runs[anchor][1])
+        top = self._spec.llc_ways
+        for name in self._stack_order:
+            if name not in self._runs:
+                continue
+            count = self._runs[name][1]
+            self._runs[name] = (top - count, count)
+            top -= count
+
+
+def _overlaps(a: Tuple[int, int], b: Tuple[int, int]) -> bool:
+    """True if two (first, count) way runs share any way."""
+    a_first, a_count = a
+    b_first, b_count = b
+    if a_count == 0 or b_count == 0:
+        return False
+    return a_first < b_first + b_count and b_first < a_first + a_count

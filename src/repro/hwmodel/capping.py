@@ -1,0 +1,196 @@
+"""Power capping actuation for the best-effort tenant.
+
+Section IV-C: "The server manager periodically measures the power draw of
+the server every 100 ms, and throttles the power draw of the secondary
+application to stay within the provisioned power capacity.  Towards that,
+it first uses the fine-grained knob of per-core frequency to reduce power
+draw, and then limits the CPU execution time to further reduce power draw
+if needed."
+
+:class:`PowerCapController` is that loop.  It never touches the primary
+tenant — the latency-critical application has absolute priority and its
+power needs define the provisioned capacity in the first place.  Actions
+are ordered exactly as in the paper:
+
+* over cap  → step the BE frequency down the DVFS ladder; once the ladder
+  is exhausted, reduce the BE duty cycle (CPU-time limiting);
+* safely under cap (by ``restore_margin_w``) → undo in reverse order:
+  restore duty cycle first, then climb the ladder.
+
+Two mechanisms prevent limit cycling: the restore margin (hysteresis on
+the meter's EWMA-filtered value against measurement noise), and an
+exponential *restore backoff* — when a restore is punished by a throttle
+within a couple of samples (the step's power delta exceeds the margin),
+the controller doubles the wait before probing upward again, so the
+long-run operating point converges to the throttled side of the cap with
+only occasional upward probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import ConfigError
+from repro.hwmodel.meter import PowerMeter
+from repro.hwmodel.server import Server
+
+
+@dataclass
+class CapStats:
+    """Counters describing how hard the cap loop had to work.
+
+    ``throttle_events`` counts loop iterations that took a *downward*
+    action — the paper's "frequent power capping" signal (Section V-D).
+    """
+
+    samples: int = 0
+    over_cap_samples: int = 0
+    throttle_events: int = 0
+    restore_events: int = 0
+    duty_limited_samples: int = 0
+
+    @property
+    def over_cap_fraction(self) -> float:
+        """Fraction of samples observed above the provisioned capacity."""
+        return self.over_cap_samples / self.samples if self.samples else 0.0
+
+    @property
+    def throttle_fraction(self) -> float:
+        """Fraction of samples on which the loop had to throttle."""
+        return self.throttle_events / self.samples if self.samples else 0.0
+
+
+class PowerCapController:
+    """The 100 ms power-cap loop of Section IV-C.
+
+    Parameters
+    ----------
+    server:
+        The server whose secondary tenant is throttled.
+    meter:
+        Power meter to read; the controller acts on ``filtered_watts``.
+    duty_step:
+        Granularity of CPU-time limiting once the frequency ladder is
+        exhausted.
+    min_duty_cycle:
+        Floor below which the BE tenant is not squeezed further (a fully
+        starved tenant would never release held resources in a real
+        system; the paper keeps the BE app running, just slowly).
+    restore_margin_w:
+        How far below the cap the filtered draw must be before the loop
+        starts giving resources back — the hysteresis band.
+    """
+
+    def __init__(
+        self,
+        server: Server,
+        meter: PowerMeter,
+        duty_step: float = 0.05,
+        min_duty_cycle: float = 0.05,
+        restore_margin_w: float = 4.0,
+    ) -> None:
+        if not 0 < duty_step <= 1:
+            raise ConfigError("duty step must lie in (0, 1]")
+        if not 0 <= min_duty_cycle < 1:
+            raise ConfigError("minimum duty cycle must lie in [0, 1)")
+        if restore_margin_w < 0:
+            raise ConfigError("restore margin cannot be negative")
+        self.server = server
+        self.meter = meter
+        self.duty_step = duty_step
+        self.min_duty_cycle = min_duty_cycle
+        self.restore_margin_w = restore_margin_w
+        self.stats = CapStats()
+        self._samples_since_restore = 10**9
+        self._restore_backoff = 0
+        self._restore_cooldown = 0
+
+    def step(self, time_s: float) -> None:
+        """One loop iteration: sample the meter, act on the BE tenant."""
+        reading = self.meter.sample(time_s)
+        self.stats.samples += 1
+        self._samples_since_restore += 1
+        if self._restore_cooldown > 0:
+            self._restore_cooldown -= 1
+        cap = self.server.provisioned_power_w
+        if reading.watts > cap:
+            self.stats.over_cap_samples += 1
+
+        secondaries = [
+            name for name in self.server.secondary_tenants()
+            if not self.server.allocation_of(name).is_empty
+        ]
+        if not secondaries:
+            return
+        if any(
+            self.server.allocation_of(name).duty_cycle < 1.0
+            for name in secondaries
+        ):
+            self.stats.duty_limited_samples += 1
+
+        if reading.filtered_watts > cap:
+            if self._samples_since_restore <= 2:
+                # The last upward probe overshot the cap: back off
+                # exponentially before probing again.
+                self._restore_backoff = min(600, max(10, self._restore_backoff * 2))
+                self._restore_cooldown = self._restore_backoff
+            # Squeeze the hungriest best-effort tenant first: it sheds
+            # the most watts per throttle step.
+            self._throttle(max(secondaries, key=self.server.tenant_power_w))
+        elif (
+            reading.filtered_watts < cap - self.restore_margin_w
+            and self._restore_cooldown == 0
+        ):
+            # Give headroom back to the most-throttled tenant first.
+            self._restore(min(secondaries, key=self._throttle_depth))
+            self._samples_since_restore = 0
+
+    def _throttle_depth(self, tenant: str) -> Tuple[float, float]:
+        """How squeezed a tenant is: (duty, frequency), lowest = deepest."""
+        alloc = self.server.allocation_of(tenant)
+        return (alloc.duty_cycle, alloc.freq_ghz)
+
+    def _throttle(self, be: str) -> None:
+        alloc = self.server.allocation_of(be)
+        ladder = self.server.spec.ladder
+        if alloc.freq_ghz > ladder.min_ghz + 1e-9:
+            new_freq = ladder.step_down(alloc.freq_ghz)
+            self.server.apply_allocation(be, alloc.with_freq(new_freq))
+            self.stats.throttle_events += 1
+        elif alloc.duty_cycle > self.min_duty_cycle + 1e-9:
+            new_duty = max(self.min_duty_cycle, alloc.duty_cycle - self.duty_step)
+            self.server.apply_allocation(be, alloc.with_duty_cycle(new_duty))
+            self.stats.throttle_events += 1
+        # else: BE is already maximally squeezed; the primary alone must
+        # fit under the cap by construction of the provisioning.
+
+    def _restore(self, be: str) -> None:
+        alloc = self.server.allocation_of(be)
+        ladder = self.server.spec.ladder
+        if alloc.duty_cycle < 1.0 - 1e-9:
+            new_duty = min(1.0, alloc.duty_cycle + self.duty_step)
+            self.server.apply_allocation(be, alloc.with_duty_cycle(new_duty))
+            self.stats.restore_events += 1
+        elif alloc.freq_ghz < ladder.max_ghz - 1e-9:
+            new_freq = ladder.step_up(alloc.freq_ghz)
+            self.server.apply_allocation(be, alloc.with_freq(new_freq))
+            self.stats.restore_events += 1
+
+    def run_until_stable(self, start_time_s: float = 0.0, max_steps: int = 200) -> float:
+        """Iterate the loop until no action fires, returning the end time.
+
+        Used by steady-state experiments (e.g. Fig 3) that want the
+        converged throttle level for a fixed operating point rather than
+        a full time-domain trace.
+        """
+        time_s = start_time_s
+        for _ in range(max_steps):
+            before = (self.stats.throttle_events, self.stats.restore_events)
+            self.step(time_s)
+            time_s += self.meter.interval_s
+            if (self.stats.throttle_events, self.stats.restore_events) == before:
+                # No action at this sample; with EWMA warm, we call it stable.
+                if self.stats.samples >= 3:
+                    break
+        return time_s

@@ -1,0 +1,190 @@
+"""Core pinning and per-core DVFS — the ``taskset`` / ``cpupowerutils`` layer.
+
+The paper isolates the primary and secondary applications onto disjoint
+core sets with ``taskset`` and scales each core's frequency independently
+with ``cpupowerutils`` (Section V-A).  :class:`CoreAllocator` tracks which
+physical core IDs belong to which tenant and guarantees the sets never
+overlap; :class:`DvfsController` tracks the per-core operating point and
+only accepts frequencies that exist on the ladder.
+
+These classes are deliberately stateful and imperative: they are the
+simulated equivalents of issuing Linux commands, and the server facade
+(:mod:`repro.hwmodel.server`) drives them the same way the paper's server
+manager drives the real knobs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import AllocationError
+from repro.hwmodel.spec import FrequencyLadder, ServerSpec
+
+
+class CoreAllocator:
+    """Exclusive assignment of physical core IDs to named tenants.
+
+    Core IDs run from 0 to ``spec.cores - 1``.  The primary application is
+    conventionally given the lowest-numbered cores (matching the paper's
+    contiguous ``taskset`` masks) but any explicit ID set is accepted.
+    """
+
+    def __init__(self, spec: ServerSpec) -> None:
+        self._spec = spec
+        self._owner_of: Dict[int, str] = {}
+        self._cores_of: Dict[str, FrozenSet[int]] = {}
+
+    @property
+    def total_cores(self) -> int:
+        """Number of physical cores managed by this allocator."""
+        return self._spec.cores
+
+    def owner(self, core_id: int) -> Optional[str]:
+        """Tenant owning ``core_id``, or None if the core is free."""
+        self._check_core_id(core_id)
+        return self._owner_of.get(core_id)
+
+    def cores_of(self, tenant: str) -> FrozenSet[int]:
+        """The core-ID set currently pinned to ``tenant`` (may be empty)."""
+        return self._cores_of.get(tenant, frozenset())
+
+    def free_cores(self) -> FrozenSet[int]:
+        """Core IDs not owned by any tenant."""
+        return frozenset(
+            c for c in range(self._spec.cores) if c not in self._owner_of
+        )
+
+    def assign(self, tenant: str, count: int) -> FrozenSet[int]:
+        """(Re)pin ``tenant`` to ``count`` cores, reusing its current cores.
+
+        Growth takes the lowest-numbered free cores; shrink releases the
+        highest-numbered owned cores first, so the primary keeps a stable
+        low-ID prefix across resizes — mirroring how the paper's manager
+        adjusts a contiguous taskset mask without migrating busy cores.
+        """
+        if count < 0:
+            raise AllocationError("core count cannot be negative")
+        current = sorted(self.cores_of(tenant))
+        if count < len(current):
+            for core_id in current[count:]:
+                del self._owner_of[core_id]
+            kept = frozenset(current[:count])
+        elif count > len(current):
+            needed = count - len(current)
+            free = sorted(self.free_cores())
+            if needed > len(free):
+                raise AllocationError(
+                    f"tenant {tenant!r} wants {count} cores but only "
+                    f"{len(current) + len(free)} are available"
+                )
+            grabbed = free[:needed]
+            for core_id in grabbed:
+                self._owner_of[core_id] = tenant
+            kept = frozenset(current) | frozenset(grabbed)
+        else:
+            kept = frozenset(current)
+        if kept:
+            self._cores_of[tenant] = kept
+        else:
+            self._cores_of.pop(tenant, None)
+        return kept
+
+    def release(self, tenant: str) -> None:
+        """Release every core owned by ``tenant``."""
+        for core_id in self.cores_of(tenant):
+            del self._owner_of[core_id]
+        self._cores_of.pop(tenant, None)
+
+    def _check_core_id(self, core_id: int) -> None:
+        if not 0 <= core_id < self._spec.cores:
+            raise AllocationError(
+                f"core id {core_id} out of range 0..{self._spec.cores - 1}"
+            )
+
+
+class DvfsController:
+    """Per-core frequency scaling with a discrete ladder.
+
+    The paper disables deep sleep states on the primary's cores and turbo
+    boost globally (Section V-A); we model the consequence — frequency is
+    the only per-core power knob — rather than the C-state machinery.
+    """
+
+    def __init__(self, spec: ServerSpec) -> None:
+        self._spec = spec
+        self._ladder = spec.ladder
+        self._freq_of: Dict[int, float] = {
+            c: spec.max_freq_ghz for c in range(spec.cores)
+        }
+
+    @property
+    def ladder(self) -> FrequencyLadder:
+        """The DVFS operating-point ladder."""
+        return self._ladder
+
+    def frequency_of(self, core_id: int) -> float:
+        """Current operating point of ``core_id`` in GHz."""
+        self._check_core_id(core_id)
+        return self._freq_of[core_id]
+
+    def set_frequency(self, core_ids, freq_ghz: float) -> float:
+        """Set every core in ``core_ids`` to ``freq_ghz``.
+
+        The frequency must be a valid ladder point (use
+        :meth:`FrequencyLadder.clamp` first if it may not be).  Returns
+        the applied frequency.
+        """
+        if not self._ladder.contains(freq_ghz):
+            raise AllocationError(
+                f"{freq_ghz} GHz is not a valid DVFS operating point"
+            )
+        for core_id in core_ids:
+            self._check_core_id(core_id)
+            self._freq_of[core_id] = freq_ghz
+        return freq_ghz
+
+    def throttle(self, core_ids) -> float:
+        """Lower every core in ``core_ids`` by one ladder step.
+
+        Returns the (common) resulting frequency; the cores are first
+        snapped to the minimum frequency among them so the group moves in
+        lock-step, matching the per-application (not per-core) throttling
+        policy of Section IV-C.
+        """
+        ids: List[int] = list(core_ids)
+        if not ids:
+            return self._ladder.min_ghz
+        current = min(self.frequency_of(c) for c in ids)
+        target = self._ladder.step_down(current)
+        return self.set_frequency(ids, target)
+
+    def unthrottle(self, core_ids) -> float:
+        """Raise every core in ``core_ids`` by one ladder step."""
+        ids: List[int] = list(core_ids)
+        if not ids:
+            return self._ladder.max_ghz
+        current = min(self.frequency_of(c) for c in ids)
+        target = self._ladder.step_up(current)
+        return self.set_frequency(ids, target)
+
+    def group_frequency(self, core_ids) -> float:
+        """Effective frequency of an application's core group.
+
+        Defined as the minimum over the group — a conservative model of a
+        synchronization-bound application running across cores at mixed
+        operating points.
+        """
+        ids = list(core_ids)
+        if not ids:
+            return self._ladder.max_ghz
+        return min(self.frequency_of(c) for c in ids)
+
+    def snapshot(self) -> Tuple[Tuple[int, float], ...]:
+        """Immutable (core_id, freq) view, useful for telemetry."""
+        return tuple(sorted(self._freq_of.items()))
+
+    def _check_core_id(self, core_id: int) -> None:
+        if not 0 <= core_id < self._spec.cores:
+            raise AllocationError(
+                f"core id {core_id} out of range 0..{self._spec.cores - 1}"
+            )

@@ -1,0 +1,167 @@
+"""Cluster simulation: a set of colocated servers swept over load levels.
+
+The paper's cluster is four servers, each provisioned for one LC app,
+each hosting one BE co-runner chosen by the placement policy; evaluation
+numbers are averages "across the primary load (under a uniform load
+distribution from 10% to 90% in steps of 10%)" (Section V-D).
+
+:func:`run_cluster` executes exactly that: for every server plan and
+every load level it builds a fresh server + manager + cap loop, runs the
+steady-state colocation, and aggregates.  Servers do not interact at run
+time (each has its own provisioned feed), so the cluster-level coupling
+is entirely through the placement decision — as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.apps.best_effort import BestEffortApp
+from repro.apps.latency_critical import LatencyCriticalApp
+from repro.core.server_manager import ServerManagerBase
+from repro.errors import ConfigError
+from repro.hwmodel.server import Server
+from repro.hwmodel.spec import ServerSpec
+from repro.sim.colocation import (
+    ColocationResult,
+    ColocationSim,
+    SimConfig,
+    build_colocated_server,
+)
+from repro.workloads.traces import UNIFORM_EVAL_LEVELS, ConstantTrace
+
+#: Builds a manager for a freshly assembled server.
+ManagerFactory = Callable[[Server], ServerManagerBase]
+
+
+@dataclass(frozen=True)
+class ServerPlan:
+    """One server of the cluster: its LC app, BE co-runner and manager."""
+
+    lc_app: LatencyCriticalApp
+    manager_factory: ManagerFactory
+    provisioned_power_w: float
+    be_app: Optional[BestEffortApp] = None
+
+    def __post_init__(self) -> None:
+        if self.provisioned_power_w <= 0:
+            raise ConfigError("provisioned power must be positive")
+
+
+@dataclass(frozen=True)
+class LevelOutcome:
+    """The steady-state result of one (server, load level) cell."""
+
+    lc_name: str
+    be_name: Optional[str]
+    level: float
+    result: ColocationResult
+
+
+@dataclass
+class ClusterRunResult:
+    """All (server, level) outcomes of one policy run, with aggregates."""
+
+    outcomes: List[LevelOutcome] = field(default_factory=list)
+
+    def servers(self) -> List[str]:
+        """LC server names present, in first-seen order."""
+        seen: List[str] = []
+        for o in self.outcomes:
+            if o.lc_name not in seen:
+                seen.append(o.lc_name)
+        return seen
+
+    def _per_server(self, metric: Callable[[ColocationResult], float]) -> Dict[str, float]:
+        by: Dict[str, List[float]] = {}
+        for o in self.outcomes:
+            by.setdefault(o.lc_name, []).append(metric(o.result))
+        return {name: float(np.mean(vals)) for name, vals in by.items()}
+
+    def be_throughput_by_server(self) -> Dict[str, float]:
+        """Mean normalized BE throughput per server over the level sweep.
+
+        This is the Fig 12 y-axis (one bar per LC server per policy).
+        """
+        return self._per_server(lambda r: r.avg_be_throughput_norm)
+
+    def power_utilization_by_server(self) -> Dict[str, float]:
+        """Mean power draw / provisioned capacity per server (Fig 13)."""
+        return self._per_server(lambda r: r.power_utilization)
+
+    def violation_by_server(self) -> Dict[str, float]:
+        """Mean SLO-violation fraction per server."""
+        return self._per_server(lambda r: r.slo_violation_fraction)
+
+    def cluster_be_throughput(self) -> float:
+        """Mean normalized BE throughput across servers and levels."""
+        per = self.be_throughput_by_server()
+        return float(np.mean(list(per.values()))) if per else 0.0
+
+    def cluster_power_utilization(self) -> float:
+        """Mean power utilization across servers and levels."""
+        per = self.power_utilization_by_server()
+        return float(np.mean(list(per.values()))) if per else 0.0
+
+    def total_energy_kwh(self) -> float:
+        """Summed energy over every simulated cell."""
+        return float(sum(o.result.energy_kwh for o in self.outcomes))
+
+    def cluster_violation_fraction(self) -> float:
+        """Mean SLO-violation fraction across all cells."""
+        if not self.outcomes:
+            return 0.0
+        return float(np.mean([o.result.slo_violation_fraction for o in self.outcomes]))
+
+    def be_names_by_server(self) -> Dict[str, Optional[str]]:
+        """The placement this run executed (lc -> be)."""
+        mapping: Dict[str, Optional[str]] = {}
+        for o in self.outcomes:
+            mapping[o.lc_name] = o.be_name
+        return mapping
+
+
+def run_cluster(
+    plans: Sequence[ServerPlan],
+    spec: ServerSpec,
+    levels: Sequence[float] = UNIFORM_EVAL_LEVELS,
+    duration_s: float = 60.0,
+    config: SimConfig = SimConfig(),
+) -> ClusterRunResult:
+    """Run every server plan at every load level, fresh state per cell."""
+    if not plans:
+        raise ConfigError("cluster needs at least one server plan")
+    if not levels:
+        raise ConfigError("need at least one load level")
+    result = ClusterRunResult()
+    for plan in plans:
+        for level in levels:
+            server = build_colocated_server(
+                spec=spec,
+                lc_app=plan.lc_app,
+                provisioned_power_w=plan.provisioned_power_w,
+                be_app=plan.be_app,
+                name=f"{plan.lc_app.name}-server",
+            )
+            manager = plan.manager_factory(server)
+            sim = ColocationSim(
+                server=server,
+                lc_app=plan.lc_app,
+                trace=ConstantTrace(level),
+                manager=manager,
+                be_app=plan.be_app,
+                config=config,
+            )
+            outcome = sim.run(duration_s)
+            result.outcomes.append(
+                LevelOutcome(
+                    lc_name=plan.lc_app.name,
+                    be_name=plan.be_app.name if plan.be_app else None,
+                    level=level,
+                    result=outcome,
+                )
+            )
+    return result

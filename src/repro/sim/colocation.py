@@ -1,0 +1,235 @@
+"""Single-server colocation simulation: one LC tenant, one BE tenant.
+
+This is the time-domain harness that exercises the full control stack the
+way the paper's testbed does:
+
+* every **1 s** the server manager reads (noisy) load and latency-slack
+  telemetry for the primary and re-decides its allocation
+  (Section IV-C: "over a time window of every second");
+* every **100 ms** the power-cap loop samples the (noisy) power meter and
+  throttles/restores the best-effort tenant (frequency ladder first, then
+  duty cycling);
+* the latency-critical app's true latency, both apps' true throughput and
+  the server's true power follow from the ground-truth surfaces at the
+  allocations currently in force.
+
+Results aggregate exactly the quantities the paper's figures report:
+average BE throughput (normalized), average power utilization against the
+provisioned capacity, energy, SLO-violation fraction, and capping
+activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.base import measured
+from repro.apps.best_effort import BestEffortApp
+from repro.apps.latency_critical import LatencyCriticalApp
+from repro.core.server_manager import ManagerStats, ServerManagerBase
+from repro.errors import ConfigError, SimulationError
+from repro.hwmodel.capping import CapStats, PowerCapController
+from repro.hwmodel.meter import EnergyCounter, PowerMeter
+from repro.hwmodel.server import PRIMARY, SECONDARY, Server
+from repro.hwmodel.spec import ServerSpec
+from repro.sim.telemetry import Telemetry
+from repro.workloads.traces import ConstantTrace, LoadTrace
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Timing and noise knobs of the colocation loop."""
+
+    control_interval_s: float = 1.0
+    power_interval_s: float = 0.1
+    warmup_s: float = 10.0
+    load_noise: float = 0.02
+    latency_noise: float = 0.05
+    meter_noise_w: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.control_interval_s <= 0 or self.power_interval_s <= 0:
+            raise ConfigError("intervals must be positive")
+        if self.power_interval_s > self.control_interval_s:
+            raise ConfigError("power loop must run at least as often as control")
+        if self.warmup_s < 0:
+            raise ConfigError("warmup cannot be negative")
+
+
+@dataclass
+class ColocationResult:
+    """Aggregates of one simulated run (post-warmup window only)."""
+
+    lc_name: str
+    be_name: Optional[str]
+    duration_s: float
+    avg_be_throughput_norm: float
+    avg_be_throughput_abs: float
+    avg_lc_load_fraction: float
+    avg_power_w: float
+    power_utilization: float
+    energy_kwh: float
+    slo_violation_fraction: float
+    cap_stats: CapStats
+    manager_stats: ManagerStats
+    telemetry: Telemetry = field(repr=False)
+
+
+class ColocationSim:
+    """Drives one server + manager + cap loop over a load trace."""
+
+    def __init__(
+        self,
+        server: Server,
+        lc_app: LatencyCriticalApp,
+        trace: LoadTrace,
+        manager: ServerManagerBase,
+        be_app: Optional[BestEffortApp] = None,
+        config: SimConfig = SimConfig(),
+    ) -> None:
+        primary = server.primary_tenant()
+        if primary is None:
+            raise SimulationError("server has no primary tenant attached")
+        if be_app is not None and server.secondary_tenant() is None:
+            raise SimulationError("BE app given but no secondary tenant attached")
+        if manager.server is not server:
+            raise SimulationError("manager is bound to a different server")
+        self.server = server
+        self.lc_app = lc_app
+        self.be_app = be_app
+        self.trace = trace
+        self.manager = manager
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self.meter = PowerMeter(
+            source=server.power_w,
+            rng=self._rng,
+            noise_sigma_w=config.meter_noise_w,
+            interval_s=config.power_interval_s,
+        )
+        self.capper = PowerCapController(server=server, meter=self.meter)
+
+    def run(self, duration_s: float) -> ColocationResult:
+        """Simulate ``duration_s`` seconds (plus warmup) and aggregate.
+
+        Warmup runs before t=0 so that traces are sampled on their own
+        timeline; statistics cover only t in [0, duration_s).
+        """
+        if duration_s <= 0:
+            raise ConfigError("duration must be positive")
+        cfg = self.config
+        telemetry = Telemetry()
+        energy = EnergyCounter()
+        primary = self.server.primary_tenant()
+        be = self.server.secondary_tenant()
+        assert primary is not None
+
+        n_warmup = int(round(cfg.warmup_s / cfg.control_interval_s))
+        n_ticks = int(round(duration_s / cfg.control_interval_s))
+        subticks = int(round(cfg.control_interval_s / cfg.power_interval_s))
+        violations = 0
+
+        for tick in range(-n_warmup, n_ticks):
+            t = tick * cfg.control_interval_s
+            in_window = tick >= 0
+            load_frac = self.trace.load_fraction(max(0.0, t))
+            true_load = load_frac * self.lc_app.peak_load
+
+            # Telemetry the manager sees: noisy load and latency slack at
+            # the allocation currently in force.
+            alloc_before = self.server.allocation_of(primary)
+            measured_load = measured(true_load, self._rng, cfg.load_noise)
+            p99 = self.lc_app.measured_p99_s(
+                true_load, alloc_before, self._rng, cfg.latency_noise
+            )
+            measured_slack = 1.0 - p99 / self.lc_app.latency.slo.p99_s
+
+            self.manager.control_step(measured_load, measured_slack)
+
+            # Power-cap loop at 100 ms within the control tick.
+            for k in range(subticks):
+                self.capper.step(t + k * cfg.power_interval_s)
+
+            # Record ground truth at end of tick.
+            lc_alloc = self.server.allocation_of(primary)
+            true_slack = self.lc_app.slack(true_load, lc_alloc)
+            power = self.server.power_w()
+            if in_window:
+                if true_slack < 0:
+                    violations += 1
+                telemetry.record("power_w", t, power)
+                telemetry.record("lc_load_fraction", t, load_frac)
+                telemetry.record("lc_slack", t, true_slack)
+                telemetry.record("lc_cores", t, lc_alloc.cores)
+                telemetry.record("lc_ways", t, lc_alloc.ways)
+                if self.meter.last_reading is not None:
+                    energy.record(self.meter.last_reading)
+                if be is not None and self.be_app is not None:
+                    be_alloc = self.server.allocation_of(be)
+                    norm = self.be_app.normalized_throughput(be_alloc)
+                    telemetry.record("be_throughput_norm", t, norm)
+                    telemetry.record("be_freq_ghz", t, be_alloc.freq_ghz)
+                    telemetry.record("be_duty", t, be_alloc.duty_cycle)
+
+        be_norm_series = telemetry.series("be_throughput_norm")
+        avg_norm = be_norm_series.mean() if not be_norm_series.empty else 0.0
+        avg_abs = (
+            avg_norm * self.be_app.peak_throughput if self.be_app is not None else 0.0
+        )
+        avg_power = telemetry.series("power_w").mean()
+        return ColocationResult(
+            lc_name=self.lc_app.name,
+            be_name=self.be_app.name if self.be_app is not None else None,
+            duration_s=duration_s,
+            avg_be_throughput_norm=avg_norm,
+            avg_be_throughput_abs=avg_abs,
+            avg_lc_load_fraction=telemetry.series("lc_load_fraction").mean(),
+            avg_power_w=avg_power,
+            power_utilization=avg_power / self.server.provisioned_power_w,
+            energy_kwh=energy.kwh,
+            slo_violation_fraction=violations / max(1, n_ticks),
+            cap_stats=self.capper.stats,
+            manager_stats=self.manager.stats,
+            telemetry=telemetry,
+        )
+
+
+def build_colocated_server(
+    spec: ServerSpec,
+    lc_app: LatencyCriticalApp,
+    provisioned_power_w: float,
+    be_app: Optional[BestEffortApp] = None,
+    name: str = "server-0",
+) -> Server:
+    """Assemble a server with the LC tenant (full box) and an empty BE slot.
+
+    The LC app starts on the full allocation — the safe state capacity
+    planning provisions for — and the manager shrinks it from there.
+    """
+    server = Server(spec=spec, provisioned_power_w=provisioned_power_w, name=name)
+    server.attach(lc_app.name, lc_app, role=PRIMARY)
+    server.apply_allocation(lc_app.name, spec.full_allocation())
+    if be_app is not None:
+        server.attach(be_app.name, be_app, role=SECONDARY)
+    return server
+
+
+def run_steady_state(
+    sim_builder,
+    level: float,
+    duration_s: float = 60.0,
+) -> ColocationResult:
+    """Run a sim at one constant LC load level (the Section V-D sweep).
+
+    ``sim_builder`` is a callable taking a :class:`LoadTrace` and
+    returning a fresh :class:`ColocationSim`; fresh state per level keeps
+    the sweep order-independent.
+    """
+    if not 0.0 <= level <= 1.0:
+        raise ConfigError("load level must lie in [0, 1]")
+    sim = sim_builder(ConstantTrace(level))
+    return sim.run(duration_s)

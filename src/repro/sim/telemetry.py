@@ -1,0 +1,129 @@
+"""Telemetry: time-series collection for simulated runs.
+
+The paper's platform assumes "telemetry systems in today's datacenters
+periodically collect these metrics for each application at fine temporal
+granularity" (Section IV-A).  :class:`TimeSeries` is a minimal append-only
+metric store with the summary operations the experiments need: time
+averages, percentiles, and fraction-above-threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class TimeSeries:
+    """An append-only (time, value) series with summary statistics."""
+
+    name: str
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def record(self, time_s: float, value: float) -> None:
+        """Append one observation; times must be non-decreasing."""
+        if self.times and time_s < self.times[-1]:
+            raise ConfigError(
+                f"series {self.name!r} fed out-of-order time {time_s}"
+            )
+        self.times.append(time_s)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing has been recorded."""
+        return not self.values
+
+    def mean(self) -> float:
+        """Arithmetic mean of recorded values (0.0 when empty)."""
+        return float(np.mean(self.values)) if self.values else 0.0
+
+    def time_weighted_mean(self) -> float:
+        """Mean weighted by holding time (left-continuous steps).
+
+        Falls back to the arithmetic mean when fewer than two points or
+        zero total span.
+        """
+        if len(self.values) < 2:
+            return self.mean()
+        t = np.asarray(self.times)
+        v = np.asarray(self.values)
+        dt = np.diff(t)
+        span = float(t[-1] - t[0])
+        if span <= 0:
+            return self.mean()
+        return float(np.sum(v[:-1] * dt) / span)
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile of recorded values (0.0 when empty)."""
+        if not 0.0 <= q <= 100.0:
+            raise ConfigError("percentile must lie in [0, 100]")
+        return float(np.percentile(self.values, q)) if self.values else 0.0
+
+    def maximum(self) -> float:
+        """Largest recorded value (0.0 when empty)."""
+        return float(np.max(self.values)) if self.values else 0.0
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of samples strictly above ``threshold``."""
+        if not self.values:
+            return 0.0
+        return float(np.mean(np.asarray(self.values) > threshold))
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, values) as numpy arrays, copied."""
+        return np.asarray(self.times, dtype=float), np.asarray(self.values, dtype=float)
+
+
+class Telemetry:
+    """A named bundle of :class:`TimeSeries`, created on first use."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, TimeSeries] = {}
+
+    def series(self, name: str) -> TimeSeries:
+        """The series called ``name``, creating it if absent."""
+        if name not in self._series:
+            self._series[name] = TimeSeries(name=name)
+        return self._series[name]
+
+    def record(self, name: str, time_s: float, value: float) -> None:
+        """Shortcut: append to the series called ``name``."""
+        self.series(name).record(time_s, value)
+
+    def names(self) -> Tuple[str, ...]:
+        """All series names, in creation order."""
+        return tuple(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+
+def write_csv(telemetry: Telemetry, path) -> int:
+    """Dump every series of a telemetry bundle to one tidy CSV file.
+
+    Long format — ``series,time_s,value`` — so any plotting tool ingests
+    it directly.  Returns the number of data rows written.
+    """
+    import csv
+    import pathlib
+
+    target = pathlib.Path(path)
+    rows = 0
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", "time_s", "value"])
+        for name in telemetry.names():
+            series = telemetry.series(name)
+            for t, v in zip(series.times, series.values):
+                writer.writerow([name, t, v])
+                rows += 1
+    return rows

@@ -1,0 +1,34 @@
+"""Optimization substrate: Hungarian assignment and two-phase simplex LP.
+
+Implemented from scratch (no scipy dependency in the library proper);
+scipy is used only in the test suite to cross-validate these solvers.
+"""
+
+from repro.solvers.assignment import METHODS, assign_max, lp_assignment_max
+from repro.solvers.hungarian import (
+    brute_force_assignment_max,
+    greedy_assignment_max,
+    solve_assignment_max,
+    solve_assignment_min,
+)
+from repro.solvers.simplex import LpResult, solve_lp
+from repro.solvers.transportation import (
+    TransportationPlan,
+    greedy_transportation_max,
+    solve_transportation_max,
+)
+
+__all__ = [
+    "LpResult",
+    "METHODS",
+    "assign_max",
+    "brute_force_assignment_max",
+    "greedy_assignment_max",
+    "lp_assignment_max",
+    "solve_assignment_max",
+    "solve_assignment_min",
+    "solve_lp",
+    "solve_transportation_max",
+    "greedy_transportation_max",
+    "TransportationPlan",
+]

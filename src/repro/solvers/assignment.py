@@ -1,0 +1,95 @@
+"""Assignment-problem front end over the Hungarian and LP back ends.
+
+The cluster manager needs "an assignment that maximizes the overall
+cluster performance" (Section IV-B).  This module exposes one function,
+:func:`assign_max`, with a selectable method, so the solver-choice
+ablation (A2 in DESIGN.md) can swap back ends without touching the
+placement logic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.solvers.hungarian import (
+    brute_force_assignment_max,
+    greedy_assignment_max,
+    solve_assignment_max,
+)
+from repro.solvers.simplex import solve_lp
+
+#: Supported assignment back ends.
+METHODS = ("hungarian", "lp", "greedy", "brute")
+
+
+def assign_max(
+    matrix: Sequence[Sequence[float]], method: str = "lp"
+) -> Tuple[List[int], float]:
+    """Maximize the total value of a row-to-column assignment.
+
+    Parameters
+    ----------
+    matrix:
+        ``matrix[i][j]`` is the value of assigning row ``i`` (a BE app)
+        to column ``j`` (an LC server).
+    method:
+        ``"lp"`` (paper's choice), ``"hungarian"``, ``"greedy"``
+        (heuristic) or ``"brute"`` (exhaustive, small matrices only).
+
+    Returns ``(assignment, total)`` with ``assignment[i]`` the column for
+    row ``i`` (-1 if unmatched in rectangular problems).
+    """
+    if method == "hungarian":
+        return solve_assignment_max(matrix)
+    if method == "greedy":
+        return greedy_assignment_max(matrix)
+    if method == "brute":
+        return brute_force_assignment_max(matrix)
+    if method == "lp":
+        return lp_assignment_max(matrix)
+    raise SolverError(f"unknown assignment method {method!r}; use one of {METHODS}")
+
+
+def lp_assignment_max(
+    matrix: Sequence[Sequence[float]],
+) -> Tuple[List[int], float]:
+    """Assignment via the Birkhoff-polytope LP (the paper's formulation).
+
+    Variables ``x_ij >= 0`` with row sums and column sums equal to 1;
+    because every vertex of that polytope is a permutation matrix, the
+    simplex optimum is integral and decodes directly to an assignment.
+    Rectangular matrices are padded with zero-value cells first.
+    """
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2 or m.size == 0:
+        raise SolverError("assignment needs a non-empty 2-D matrix")
+    rows, cols = m.shape
+    n = max(rows, cols)
+    padded = np.zeros((n, n))
+    padded[:rows, :cols] = m
+
+    c = padded.reshape(-1)
+    a_eq = np.zeros((2 * n, n * n))
+    b_eq = np.ones(2 * n)
+    for i in range(n):
+        a_eq[i, i * n : (i + 1) * n] = 1.0  # row sum
+    for j in range(n):
+        a_eq[n + j, j::n] = 1.0  # column sum
+    result = solve_lp(c, a_eq=a_eq, b_eq=b_eq)
+
+    x = result.x.reshape(n, n)
+    assignment = [-1] * rows
+    for i in range(rows):
+        j = int(np.argmax(x[i]))
+        if x[i, j] < 0.5:
+            raise SolverError(
+                "LP relaxation returned a fractional row; this should be "
+                "impossible on the assignment polytope"
+            )  # pragma: no cover - guarded by polytope integrality
+        if j < cols:
+            assignment[i] = j
+    total = sum(m[i][assignment[i]] for i in range(rows) if assignment[i] >= 0)
+    return assignment, float(total)

@@ -1,0 +1,174 @@
+"""Hungarian (Kuhn-Munkres) assignment solver, implemented from scratch.
+
+The paper's cluster manager solves a best-effort-to-server matching that
+maximizes total estimated throughput (Section IV-B), citing the classic
+assignment literature (Munkres [30]) alongside LP solvers.  This module
+provides the O(n^3) shortest-augmenting-path formulation with dual
+potentials — the standard modern statement of Kuhn-Munkres.
+
+The core routine *minimizes* cost; :func:`solve_assignment_max` negates
+the matrix for the maximization the cluster manager needs.  Rectangular
+matrices are handled by padding with zeros (extra rows/columns match a
+dummy partner, reported as -1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SolverError
+
+
+def _validate(matrix: np.ndarray) -> np.ndarray:
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2 or m.size == 0:
+        raise SolverError("assignment needs a non-empty 2-D matrix")
+    if not np.all(np.isfinite(m)):
+        raise SolverError("assignment matrix contains NaN or infinity")
+    return m
+
+
+def _pad_square(m: np.ndarray) -> np.ndarray:
+    rows, cols = m.shape
+    n = max(rows, cols)
+    if rows == cols:
+        return m
+    padded = np.zeros((n, n), dtype=float)
+    padded[:rows, :cols] = m
+    return padded
+
+
+def solve_assignment_min(matrix: Sequence[Sequence[float]]) -> Tuple[List[int], float]:
+    """Minimum-cost perfect assignment on a (possibly rectangular) matrix.
+
+    Returns ``(assignment, total_cost)`` where ``assignment[i]`` is the
+    column matched to row ``i`` (or -1 for padded rows of a rectangular
+    problem).  Cost counts only real (unpadded) cells.
+    """
+    m = _validate(matrix)
+    rows, cols = m.shape
+    square = _pad_square(m)
+    n = square.shape[0]
+
+    # Potentials u (rows) and v (columns); way[j] = predecessor column on
+    # the alternating path; match_col[j] = row matched to column j.
+    # 1-indexed internally per the classical formulation.
+    inf = float("inf")
+    u = [0.0] * (n + 1)
+    v = [0.0] * (n + 1)
+    match_col = [0] * (n + 1)  # 0 = unmatched
+    way = [0] * (n + 1)
+
+    for i in range(1, n + 1):
+        match_col[0] = i
+        j0 = 0
+        minv = [inf] * (n + 1)
+        used = [False] * (n + 1)
+        while True:
+            used[j0] = True
+            i0 = match_col[j0]
+            delta = inf
+            j1 = -1
+            for j in range(1, n + 1):
+                if used[j]:
+                    continue
+                cur = square[i0 - 1][j - 1] - u[i0] - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            if j1 < 0:
+                raise SolverError("augmenting path search failed")  # pragma: no cover
+            for j in range(n + 1):
+                if used[j]:
+                    u[match_col[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if match_col[j0] == 0:
+                break
+        # Unwind the alternating path.
+        while j0 != 0:
+            j1 = way[j0]
+            match_col[j0] = match_col[j1]
+            j0 = j1
+
+    assignment = [-1] * rows
+    for j in range(1, n + 1):
+        i = match_col[j]
+        if 1 <= i <= rows and j <= cols:
+            assignment[i - 1] = j - 1
+    total = sum(
+        m[i][assignment[i]] for i in range(rows) if assignment[i] >= 0
+    )
+    return assignment, float(total)
+
+
+def solve_assignment_max(matrix: Sequence[Sequence[float]]) -> Tuple[List[int], float]:
+    """Maximum-value perfect assignment (what the cluster manager wants).
+
+    Same contract as :func:`solve_assignment_min`; implemented by
+    negating the matrix, so ties resolve identically.
+    """
+    m = _validate(matrix)
+    assignment, neg_total = solve_assignment_min(-m)
+    return assignment, -neg_total
+
+
+def brute_force_assignment_max(
+    matrix: Sequence[Sequence[float]],
+) -> Tuple[List[int], float]:
+    """Exhaustive search over all permutations — the Fig 14 comparator.
+
+    Exponential; intended for the paper's 4x4 cluster and for verifying
+    the polynomial solvers in tests.  Requires a square matrix.
+    """
+    m = _validate(matrix)
+    rows, cols = m.shape
+    if rows != cols:
+        raise SolverError("brute force requires a square matrix")
+    if rows > 9:
+        raise SolverError("brute force limited to 9x9 (factorial blow-up)")
+
+    from itertools import permutations
+
+    best_perm: Tuple[int, ...] = tuple(range(rows))
+    best_total = -float("inf")
+    for perm in permutations(range(rows)):
+        total = sum(m[i][perm[i]] for i in range(rows))
+        if total > best_total:
+            best_total = total
+            best_perm = perm
+    return list(best_perm), float(best_total)
+
+
+def greedy_assignment_max(
+    matrix: Sequence[Sequence[float]],
+) -> Tuple[List[int], float]:
+    """Greedy heuristic: repeatedly take the largest remaining cell.
+
+    Not optimal in general — used by the solver-choice ablation (A2) to
+    quantify how much the LP/Hungarian optimum actually buys.
+    """
+    m = _validate(matrix).copy()
+    rows, cols = m.shape
+    assignment = [-1] * rows
+    free_rows = set(range(rows))
+    free_cols = set(range(cols))
+    while free_rows and free_cols:
+        best = None
+        for i in free_rows:
+            for j in free_cols:
+                if best is None or m[i][j] > m[best[0]][best[1]]:
+                    best = (i, j)
+        i, j = best  # type: ignore[misc]
+        assignment[i] = j
+        free_rows.remove(i)
+        free_cols.remove(j)
+    total = sum(m[i][assignment[i]] for i in range(rows) if assignment[i] >= 0)
+    return assignment, float(total)

@@ -1,0 +1,41 @@
+"""Load generation: diurnal/step/replay traces, the uniform evaluation
+sweep, and production-shaped generators (weekly, flash-crowd, growth,
+composite)."""
+
+from repro.workloads.generators import (
+    CompositeTrace,
+    FlashCrowdTrace,
+    GrowthTrace,
+    TraceStatistics,
+    WeeklyTrace,
+    trace_statistics,
+)
+from repro.workloads.traces import (
+    UNIFORM_EVAL_LEVELS,
+    ConstantTrace,
+    DiurnalTrace,
+    LoadTrace,
+    NoisyTrace,
+    ReplayTrace,
+    StepTrace,
+    daily_average,
+    uniform_levels,
+)
+
+__all__ = [
+    "CompositeTrace",
+    "ConstantTrace",
+    "FlashCrowdTrace",
+    "GrowthTrace",
+    "TraceStatistics",
+    "WeeklyTrace",
+    "trace_statistics",
+    "DiurnalTrace",
+    "LoadTrace",
+    "NoisyTrace",
+    "ReplayTrace",
+    "StepTrace",
+    "UNIFORM_EVAL_LEVELS",
+    "daily_average",
+    "uniform_levels",
+]

@@ -1,0 +1,187 @@
+"""Production-shaped load generators beyond the plain diurnal curve.
+
+The paper's evaluation sweeps static levels and its motivation uses a
+diurnal day; production capacity planning (Section II-A: "demand
+projections into long-term capacity planning") sees richer structure.
+This module provides the shapes a downstream operator needs to exercise
+Pocolo against their own projections:
+
+* :class:`WeeklyTrace` — weekday/weekend modulation on top of a diurnal
+  base (user-facing services slump on weekends).
+* :class:`FlashCrowdTrace` — scheduled load spikes (a sale, a launch, a
+  breaking-news event) superimposed on any base trace.
+* :class:`GrowthTrace` — a multiplicative demand trend over weeks, the
+  input long-term planning actually consumes.
+* :class:`CompositeTrace` — weighted mixture of traces (several user
+  populations sharing one cluster).
+* :func:`trace_statistics` — the summary numbers planners quote:
+  peak, mean, peak-to-mean ratio, and the off-peak fraction that bounds
+  harvesting opportunity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.workloads.traces import DiurnalTrace, LoadTrace
+
+DAY_S = 86_400.0
+WEEK_S = 7 * DAY_S
+
+
+@dataclass(frozen=True)
+class WeeklyTrace:
+    """Diurnal base with per-day-of-week scaling.
+
+    ``day_factors[d]`` scales day ``d`` (0 = the trace's epoch day); the
+    default profile slumps ~35 % on days 5-6 — the weekend shape of
+    office-hours services.  Output is clipped to [0, 1].
+    """
+
+    base: DiurnalTrace = DiurnalTrace()
+    day_factors: Tuple[float, ...] = (1.0, 1.0, 1.0, 1.0, 1.0, 0.65, 0.6)
+
+    def __post_init__(self) -> None:
+        if len(self.day_factors) != 7:
+            raise ConfigError("need exactly seven day factors")
+        if any(f < 0 for f in self.day_factors):
+            raise ConfigError("day factors cannot be negative")
+
+    def load_fraction(self, time_s: float) -> float:
+        """Scaled diurnal load at ``time_s``; periodic over the week."""
+        day = int((time_s % WEEK_S) // DAY_S)
+        value = self.base.load_fraction(time_s) * self.day_factors[day]
+        return min(1.0, max(0.0, value))
+
+
+@dataclass(frozen=True)
+class FlashCrowdTrace:
+    """A base trace plus scheduled spikes.
+
+    Each event is ``(start_s, duration_s, magnitude)``: during the
+    event, load is lifted toward 1.0 by ``magnitude`` (0.5 closes half
+    the gap to full load; 1.0 pegs it).  The decay after ``duration_s``
+    is exponential with ``decay_s`` — crowds disperse, they don't
+    vanish.
+    """
+
+    base: LoadTrace
+    events: Tuple[Tuple[float, float, float], ...]
+    decay_s: float = 600.0
+
+    def __post_init__(self) -> None:
+        for start, duration, magnitude in self.events:
+            if start < 0 or duration <= 0:
+                raise ConfigError("events need start >= 0 and duration > 0")
+            if not 0.0 <= magnitude <= 1.0:
+                raise ConfigError("event magnitude must lie in [0, 1]")
+        if self.decay_s <= 0:
+            raise ConfigError("decay must be positive")
+
+    def load_fraction(self, time_s: float) -> float:
+        """Base load lifted by any active (or decaying) events."""
+        value = self.base.load_fraction(time_s)
+        for start, duration, magnitude in self.events:
+            if time_s < start:
+                continue
+            if time_s <= start + duration:
+                lift = magnitude
+            else:
+                lift = magnitude * float(
+                    np.exp(-(time_s - start - duration) / self.decay_s)
+                )
+            value = value + lift * (1.0 - value)
+        return min(1.0, max(0.0, value))
+
+
+@dataclass(frozen=True)
+class GrowthTrace:
+    """A base trace under a weekly compound demand trend.
+
+    ``weekly_growth`` of 0.02 means demand grows 2 % per week — the
+    long-horizon signal capacity planning provisions against.  Clipped
+    at 1.0 (the cluster's nominal peak); a planner watching this trace
+    saturate knows it is time to buy servers.
+    """
+
+    base: LoadTrace
+    weekly_growth: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.weekly_growth < -1.0:
+            raise ConfigError("growth below -100% per week is meaningless")
+
+    def load_fraction(self, time_s: float) -> float:
+        """Trended load at ``time_s``."""
+        weeks = time_s / WEEK_S
+        factor = (1.0 + self.weekly_growth) ** weeks
+        return min(1.0, max(0.0, self.base.load_fraction(time_s) * factor))
+
+
+@dataclass(frozen=True)
+class CompositeTrace:
+    """Weighted mixture of traces — several populations on one cluster."""
+
+    components: Tuple[Tuple[LoadTrace, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ConfigError("composite needs at least one component")
+        weights = [w for _, w in self.components]
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ConfigError("weights must be non-negative and sum above zero")
+
+    def load_fraction(self, time_s: float) -> float:
+        """Weight-normalized mixture load at ``time_s``."""
+        total_weight = sum(w for _, w in self.components)
+        value = sum(
+            trace.load_fraction(time_s) * w for trace, w in self.components
+        ) / total_weight
+        return min(1.0, max(0.0, value))
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """The planner's summary of a trace over a horizon."""
+
+    peak: float
+    mean: float
+    p95: float
+    off_peak_fraction: float
+
+    @property
+    def peak_to_mean(self) -> float:
+        """The over-provisioning factor right-sizing pays for."""
+        return self.peak / self.mean if self.mean > 0 else float("inf")
+
+
+def trace_statistics(
+    trace: LoadTrace,
+    horizon_s: float = WEEK_S,
+    samples: int = 672,
+    off_peak_threshold: float = 0.5,
+) -> TraceStatistics:
+    """Sampled summary statistics of a trace.
+
+    ``off_peak_fraction`` is the share of time below
+    ``off_peak_threshold`` — an upper bound on how often best-effort
+    admission (Section II-B) is even on the table.
+    """
+    if samples < 2:
+        raise ConfigError("need at least two samples")
+    if horizon_s <= 0:
+        raise ConfigError("horizon must be positive")
+    if not 0.0 < off_peak_threshold <= 1.0:
+        raise ConfigError("threshold must lie in (0, 1]")
+    times = np.linspace(0.0, horizon_s, samples, endpoint=False)
+    values = np.array([trace.load_fraction(float(t)) for t in times])
+    return TraceStatistics(
+        peak=float(values.max()),
+        mean=float(values.mean()),
+        p95=float(np.percentile(values, 95)),
+        off_peak_fraction=float(np.mean(values < off_peak_threshold)),
+    )

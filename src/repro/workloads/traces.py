@@ -1,0 +1,204 @@
+"""Load traces for latency-critical applications.
+
+The paper's primary applications see "dynamic variations, such as diurnal
+load behavior" (Fig 1); the evaluation averages over "a uniform load
+distribution from 10% to 90% in steps of 10%" (Section V-D).  This module
+provides both, plus step and replay traces for controller testing.
+
+A trace maps simulation time (seconds) to a *load fraction* in [0, 1] —
+the fraction of the application's peak load currently offered.  Traces are
+deterministic; wrap one in :class:`NoisyTrace` for stochastic arrivals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: The evaluation's load levels (Section V-D).
+UNIFORM_EVAL_LEVELS: Tuple[float, ...] = tuple(round(0.1 * i, 1) for i in range(1, 10))
+
+
+@runtime_checkable
+class LoadTrace(Protocol):
+    """Anything that yields an offered load fraction at a given time."""
+
+    def load_fraction(self, time_s: float) -> float:
+        """Offered load as a fraction of peak, in [0, 1]."""
+        ...
+
+
+@dataclass(frozen=True)
+class ConstantTrace:
+    """A fixed operating point — one level of the evaluation sweep."""
+
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ConfigError("load fraction must lie in [0, 1]")
+
+    def load_fraction(self, time_s: float) -> float:
+        """The constant fraction, regardless of time."""
+        return self.fraction
+
+
+@dataclass(frozen=True)
+class DiurnalTrace:
+    """Smooth day/night load curve (the Fig 1 motivation shape).
+
+    ``load(t) = mid + amp * cos(2*pi*(t - peak_time)/period)^sharpness``
+    so the maximum (``max_fraction``) occurs at ``peak_time_s`` and the
+    minimum (``min_fraction``) half a period later.  An odd ``sharpness``
+    above 1 narrows both the peak and the trough, concentrating time near
+    the mid-load shoulders while preserving the extremes.
+    """
+
+    min_fraction: float = 0.1
+    max_fraction: float = 0.9
+    period_s: float = 86400.0
+    peak_time_s: float = 14.0 * 3600.0
+    sharpness: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_fraction <= self.max_fraction <= 1.0:
+            raise ConfigError("need 0 <= min_fraction <= max_fraction <= 1")
+        if self.period_s <= 0:
+            raise ConfigError("period must be positive")
+        if self.sharpness < 1 or self.sharpness % 2 == 0:
+            raise ConfigError("sharpness must be an odd positive integer")
+
+    def load_fraction(self, time_s: float) -> float:
+        """Offered load at ``time_s``; periodic with ``period_s``."""
+        phase = 2.0 * math.pi * (time_s - self.peak_time_s) / self.period_s
+        shaped = math.cos(phase) ** self.sharpness
+        mid = 0.5 * (self.max_fraction + self.min_fraction)
+        amp = 0.5 * (self.max_fraction - self.min_fraction)
+        return mid + amp * shaped
+
+
+@dataclass(frozen=True)
+class StepTrace:
+    """Piecewise-constant trace from (time, fraction) breakpoints.
+
+    Used for controller transient tests (e.g. the Section II-C "load
+    increases from 50 % to 80 %" reclamation scenario).  Before the first
+    breakpoint the first fraction applies.
+    """
+
+    steps: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ConfigError("step trace needs at least one breakpoint")
+        times = [t for t, _ in self.steps]
+        if times != sorted(times):
+            raise ConfigError("step breakpoints must be in time order")
+        for _, frac in self.steps:
+            if not 0.0 <= frac <= 1.0:
+                raise ConfigError("load fractions must lie in [0, 1]")
+
+    @staticmethod
+    def of(*steps: Tuple[float, float]) -> "StepTrace":
+        """Convenience constructor: ``StepTrace.of((0, .5), (60, .8))``."""
+        return StepTrace(steps=tuple(steps))
+
+    def load_fraction(self, time_s: float) -> float:
+        """The fraction of the latest breakpoint at or before ``time_s``."""
+        current = self.steps[0][1]
+        for t, frac in self.steps:
+            if time_s >= t:
+                current = frac
+            else:
+                break
+        return current
+
+
+@dataclass(frozen=True)
+class ReplayTrace:
+    """Linear interpolation through regularly sampled load fractions.
+
+    ``samples[i]`` is the load at ``i * interval_s``; beyond the last
+    sample the trace wraps around (production diurnal traces repeat).
+    """
+
+    samples: Tuple[float, ...]
+    interval_s: float
+
+    def __post_init__(self) -> None:
+        if len(self.samples) < 2:
+            raise ConfigError("replay trace needs at least two samples")
+        if self.interval_s <= 0:
+            raise ConfigError("sample interval must be positive")
+        for frac in self.samples:
+            if not 0.0 <= frac <= 1.0:
+                raise ConfigError("load fractions must lie in [0, 1]")
+
+    def load_fraction(self, time_s: float) -> float:
+        """Interpolated (and wrapped) load at ``time_s``."""
+        span = len(self.samples) * self.interval_s
+        t = time_s % span
+        idx = int(t // self.interval_s)
+        frac_in_cell = (t - idx * self.interval_s) / self.interval_s
+        nxt = (idx + 1) % len(self.samples)
+        return (1.0 - frac_in_cell) * self.samples[idx] + frac_in_cell * self.samples[nxt]
+
+
+class NoisyTrace:
+    """Multiplicative noise around a base trace, clipped to [0, 1].
+
+    Deterministic given the seed *and* query times: noise is drawn from a
+    per-call generator keyed by quantized time, so repeated queries at the
+    same time agree (controllers may sample a timestamp more than once).
+    """
+
+    def __init__(self, base: LoadTrace, sigma: float = 0.03, seed: int = 0,
+                 quantum_s: float = 1.0) -> None:
+        if sigma < 0:
+            raise ConfigError("noise sigma cannot be negative")
+        if quantum_s <= 0:
+            raise ConfigError("time quantum must be positive")
+        self._base = base
+        self._sigma = sigma
+        self._seed = seed
+        self._quantum_s = quantum_s
+
+    def load_fraction(self, time_s: float) -> float:
+        """Noisy load at ``time_s`` (reproducible per time quantum)."""
+        base = self._base.load_fraction(time_s)
+        if self._sigma == 0:
+            return base
+        bucket = int(time_s // self._quantum_s)
+        rng = np.random.default_rng((self._seed, bucket))
+        noisy = base * rng.lognormal(0.0, self._sigma)
+        return min(1.0, max(0.0, noisy))
+
+
+def uniform_levels(start: float = 0.1, stop: float = 0.9, step: float = 0.1) -> List[float]:
+    """The paper's static evaluation levels: ``start..stop`` inclusive.
+
+    Defaults to the Section V-D sweep (10 % to 90 % in steps of 10 %).
+    """
+    if step <= 0:
+        raise ConfigError("step must be positive")
+    if stop < start:
+        raise ConfigError("stop must be >= start")
+    n = int(round((stop - start) / step))
+    levels = [round(start + i * step, 10) for i in range(n + 1)]
+    for level in levels:
+        if not 0.0 <= level <= 1.0:
+            raise ConfigError("levels must lie in [0, 1]")
+    return levels
+
+
+def daily_average(trace: LoadTrace, period_s: float = 86400.0, samples: int = 288) -> float:
+    """Mean load fraction of ``trace`` over one period (sampled)."""
+    if samples < 1:
+        raise ConfigError("need at least one sample")
+    times = np.linspace(0.0, period_s, samples, endpoint=False)
+    return float(np.mean([trace.load_fraction(float(t)) for t in times]))

@@ -1,0 +1,57 @@
+"""Shared fixtures for the Pocolo reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    REFERENCE_SPEC,
+    best_effort_apps,
+    latency_critical_apps,
+    make_graph,
+    make_xapian,
+)
+from repro.evaluation import fit_catalog
+
+
+@pytest.fixture(scope="session")
+def spec():
+    """The Table I reference server."""
+    return REFERENCE_SPEC
+
+
+@pytest.fixture(scope="session")
+def lc_apps():
+    """All four latency-critical apps."""
+    return latency_critical_apps()
+
+
+@pytest.fixture(scope="session")
+def be_apps():
+    """All four best-effort apps."""
+    return best_effort_apps()
+
+
+@pytest.fixture(scope="session")
+def xapian():
+    """The xapian LC app (the motivation study's primary)."""
+    return make_xapian()
+
+
+@pytest.fixture(scope="session")
+def graph():
+    """The graph BE app (the most power-hungry co-runner)."""
+    return make_graph()
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """A fitted catalog shared across tests (seeded, reproducible)."""
+    return fit_catalog(seed=7)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh seeded generator per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,114 @@
+"""Tests for repro.apps.queuelatency: the measured-latency alternative."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.apps.latency import LatencySlo, TailLatencyModel
+from repro.apps.queuelatency import QueueBackedLatencyModel
+from repro.core.server_manager import PowerOptimizedManager
+from repro.errors import ConfigError
+from repro.sim.colocation import ColocationSim, SimConfig, build_colocated_server
+from repro.workloads.traces import ConstantTrace
+
+
+@pytest.fixture(scope="module")
+def slo():
+    return LatencySlo(p95_s=0.5, p99_s=1.0)
+
+
+@pytest.fixture(scope="module")
+def model(slo):
+    return QueueBackedLatencyModel(slo, num_requests=4_000, seed=1)
+
+
+class TestAnchoringAndShape:
+    def test_slo_hit_exactly_at_capacity(self, model):
+        assert model.p99_s(load=100.0, capacity=100.0) == pytest.approx(1.0)
+
+    def test_monotone_in_load(self, model):
+        p99s = [model.p99_s(load, 100.0) for load in (10, 40, 70, 95, 100)]
+        assert p99s == sorted(p99s)
+
+    def test_light_load_far_below_slo(self, model):
+        assert model.p99_s(5.0, 100.0) < 0.5
+
+    def test_overload_extrapolates_upward_and_saturates(self, model, slo):
+        over = model.p99_s(150.0, 100.0)
+        assert over > slo.p99_s
+        deep = model.p99_s(10_000.0, 100.0)
+        assert deep <= slo.p99_s * 50.0 + 1e-9
+
+    def test_zero_capacity_saturates(self, model, slo):
+        assert model.p99_s(10.0, 0.0) == slo.p99_s * 50.0
+
+    def test_slack_signs(self, model):
+        assert model.slack(50.0, 100.0) > 0
+        assert model.slack(100.0, 100.0) == pytest.approx(0.0, abs=1e-9)
+        assert model.slack(130.0, 100.0) < 0
+
+    def test_curve_accessor(self, model):
+        curve = model.curve()
+        assert curve[-1][0] == 1.0
+        assert curve[-1][1] == pytest.approx(1.0)
+
+
+class TestInverses:
+    def test_max_load_round_trip(self, model):
+        load = model.max_load_for_slack(100.0, 0.10)
+        assert 0.0 < load <= 100.0
+        assert model.slack(load, 100.0) == pytest.approx(0.10, abs=0.01)
+
+    def test_capacity_for_load_round_trip(self, model):
+        cap = model.capacity_for_load(80.0, 0.10)
+        assert model.slack(80.0, cap) == pytest.approx(0.10, abs=0.01)
+
+    def test_validation(self, model):
+        with pytest.raises(ConfigError):
+            model.max_load_for_slack(100.0, 1.0)
+        with pytest.raises(ConfigError):
+            model.p99_s(-1.0, 100.0)
+
+
+class TestAgainstAnalyticModel:
+    def test_same_anchor_same_direction(self, model, slo):
+        analytic = TailLatencyModel(slo=slo)
+        for rho in (0.3, 0.6, 0.9, 1.0):
+            measured = model.p99_s(rho * 100.0, 100.0)
+            predicted = analytic.p99_s(rho * 100.0, 100.0)
+            assert measured <= slo.p99_s * 1.01 if rho <= 1.0 else True
+            # Both models agree exactly at the anchor.
+            if rho == 1.0:
+                assert measured == pytest.approx(predicted)
+
+    def test_construction_validation(self, slo):
+        with pytest.raises(ConfigError):
+            QueueBackedLatencyModel(slo, rho_grid=(0.5, 1.0))
+        with pytest.raises(ConfigError):
+            QueueBackedLatencyModel(slo, rho_grid=(0.5, 0.4, 1.0))
+        with pytest.raises(ConfigError):
+            QueueBackedLatencyModel(slo, rho_grid=(0.2, 0.5, 0.9))
+
+
+class TestDropInWithControllers:
+    def test_pom_keeps_slo_against_measured_latency(self, catalog):
+        """The integration claim: the controller stack works unchanged
+        when the latency behaviour comes from a queue, not a formula."""
+        xapian = catalog.lc_apps["xapian"]
+        queue_latency = QueueBackedLatencyModel(
+            xapian.latency.slo, num_requests=4_000, seed=2
+        )
+        lc = replace(xapian, latency=queue_latency)
+        be = catalog.be_apps["rnn"]
+        server = build_colocated_server(
+            catalog.spec, lc, provisioned_power_w=lc.peak_server_power_w(),
+            be_app=be,
+        )
+        manager = PowerOptimizedManager(server, model=catalog.lc_fits["xapian"].model)
+        sim = ColocationSim(
+            server=server, lc_app=lc, trace=ConstantTrace(0.5),
+            manager=manager, be_app=be, config=SimConfig(seed=0),
+        )
+        result = sim.run(duration_s=30.0)
+        assert result.slo_violation_fraction < 0.10
+        assert result.avg_be_throughput_norm > 0.1

@@ -1,0 +1,58 @@
+"""Tests for the python -m repro command-line interface."""
+
+import pytest
+
+from repro.__main__ import COMMANDS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in COMMANDS[1:]:
+            assert name in out
+
+    def test_placement(self, capsys):
+        assert main(["placement"]) == 0
+        out = capsys.readouterr().out
+        assert "graph" in out and "sphinx" in out
+
+    def test_preferences(self, capsys):
+        assert main(["preferences"]) == 0
+        out = capsys.readouterr().out
+        assert "indirect" in out
+        assert "sphinx" in out
+
+    def test_fit(self, capsys):
+        assert main(["fit"]) == 0
+        out = capsys.readouterr().out
+        assert "R2 perf" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "leontief*" in out
+        assert "OK" in out
+
+    def test_admission(self, capsys):
+        assert main(["admission"]) == 0
+        out = capsys.readouterr().out
+        assert "Admission boundaries" in out
+        assert "%" in out
+
+    def test_seed_flag_changes_numbers(self, capsys):
+        main(["fit", "--seed", "7"])
+        first = capsys.readouterr().out
+        main(["fit", "--seed", "8"])
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    @pytest.mark.slow
+    def test_motivation(self, capsys):
+        assert main(["motivation"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 1" in out and "Fig 4" in out

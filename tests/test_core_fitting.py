@@ -1,0 +1,158 @@
+"""Tests for repro.core.fitting: log-linear regression and R²."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fitting import (
+    FitResult,
+    ProfileSample,
+    fit_indirect_utility,
+    fit_performance,
+    fit_power,
+    r_squared,
+)
+from repro.errors import ModelFitError
+
+
+def synth_samples(alpha0, a_c, a_w, p_static, p_c, p_w, noise=0.0, seed=0):
+    """Noise-free (or noisy) samples from an exact Cobb-Douglas world."""
+    rng = np.random.default_rng(seed)
+    samples = []
+    for c in (1, 2, 4, 6, 9, 12):
+        for w in (2, 5, 9, 14, 20):
+            perf = alpha0 * c ** a_c * w ** a_w
+            power = p_static + c * p_c + w * p_w
+            if noise:
+                perf *= rng.lognormal(0, noise)
+                power *= rng.lognormal(0, noise)
+            samples.append(ProfileSample(cores=c, ways=w, perf=perf, power_w=power))
+    return samples
+
+
+class TestRSquared:
+    def test_perfect_fit(self):
+        assert r_squared([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_mean_predictor_is_zero(self):
+        assert r_squared([1, 2, 3], [2, 2, 2]) == pytest.approx(0.0)
+
+    def test_worse_than_mean_is_negative(self):
+        assert r_squared([1, 2, 3], [3, 2, 1]) < 0
+
+    def test_degenerate_target(self):
+        assert r_squared([2, 2], [2, 2]) == 1.0
+        assert r_squared([2, 2], [1, 3]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ModelFitError):
+            r_squared([1, 2], [1, 2, 3])
+        with pytest.raises(ModelFitError):
+            r_squared([], [])
+
+
+class TestExactRecovery:
+    """With noise-free Cobb-Douglas ground truth, the fit is exact."""
+
+    def test_performance_parameters_recovered(self):
+        samples = synth_samples(2.5, 0.55, 0.35, 4.0, 3.0, 1.2)
+        params, r2 = fit_performance(samples)
+        assert params.alpha0 == pytest.approx(2.5, rel=1e-9)
+        assert params.alphas[0] == pytest.approx(0.55, abs=1e-9)
+        assert params.alphas[1] == pytest.approx(0.35, abs=1e-9)
+        assert r2 == pytest.approx(1.0)
+
+    def test_power_parameters_recovered(self):
+        samples = synth_samples(2.5, 0.55, 0.35, 4.0, 3.0, 1.2)
+        params, r2 = fit_power(samples)
+        assert params.p_static == pytest.approx(4.0, abs=1e-9)
+        assert params.p[0] == pytest.approx(3.0, abs=1e-9)
+        assert params.p[1] == pytest.approx(1.2, abs=1e-9)
+        assert r2 == pytest.approx(1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.floats(min_value=0.2, max_value=1.0),
+        st.floats(min_value=0.2, max_value=1.0),
+        st.floats(min_value=0.5, max_value=8.0),
+        st.floats(min_value=0.5, max_value=8.0),
+    )
+    def test_recovery_property(self, a_c, a_w, p_c, p_w):
+        samples = synth_samples(1.7, a_c, a_w, 6.0, p_c, p_w)
+        fit = fit_indirect_utility(samples)
+        assert fit.model.perf.alphas[0] == pytest.approx(a_c, abs=1e-7)
+        assert fit.model.power.p[1] == pytest.approx(p_w, abs=1e-7)
+
+
+class TestNoisyRecovery:
+    def test_r2_degrades_gracefully(self):
+        samples = synth_samples(2.0, 0.6, 0.4, 5.0, 4.0, 1.5, noise=0.10, seed=2)
+        fit = fit_indirect_utility(samples)
+        assert 0.6 < fit.r2_perf < 1.0
+        assert 0.8 < fit.r2_power <= 1.0
+
+    def test_preference_vector_robust_to_noise(self):
+        samples = synth_samples(2.0, 0.6, 0.4, 5.0, 4.0, 1.5, noise=0.08, seed=3)
+        fit = fit_indirect_utility(samples)
+        true_c = (0.6 / 4.0) / (0.6 / 4.0 + 0.4 / 1.5)
+        assert fit.preference_vector()["cores"] == pytest.approx(true_c, abs=0.06)
+
+
+class TestEdgeCases:
+    def test_too_few_samples_rejected(self):
+        samples = synth_samples(2.0, 0.6, 0.4, 5.0, 4.0, 1.5)[:3]
+        with pytest.raises(ModelFitError):
+            fit_performance(samples)
+        with pytest.raises(ModelFitError):
+            fit_power(samples)
+
+    def test_zero_perf_samples_skipped(self):
+        samples = synth_samples(2.0, 0.6, 0.4, 5.0, 4.0, 1.5)
+        samples += [ProfileSample(cores=1, ways=1, perf=0.0, power_w=10.0)]
+        params, _ = fit_performance(samples)
+        assert params.alphas[0] == pytest.approx(0.6, abs=1e-9)
+
+    def test_degenerate_grid_rejected(self):
+        # Only one core count: cores column is collinear with intercept.
+        samples = [
+            ProfileSample(cores=4, ways=w, perf=2.0 * w, power_w=10.0 + w)
+            for w in (2, 5, 9, 14, 20)
+        ]
+        with pytest.raises(ModelFitError):
+            fit_performance(samples)
+        with pytest.raises(ModelFitError):
+            fit_power(samples)
+
+    def test_negative_coefficient_clamped(self):
+        # Power DECREASES with cores here — unphysical, must be clamped.
+        samples = [
+            ProfileSample(cores=c, ways=w, perf=c * w, power_w=50.0 - 2.0 * c + 3.0 * w)
+            for c in (1, 4, 8, 12)
+            for w in (2, 8, 14, 20)
+        ]
+        params, _ = fit_power(samples)
+        assert params.p[0] > 0
+        assert params.p[1] == pytest.approx(3.0, abs=1e-6)
+
+    def test_negative_static_clamped_to_zero(self):
+        samples = [
+            ProfileSample(cores=c, ways=w, perf=c * w, power_w=2.0 * c + 3.0 * w - 1.0)
+            for c in (1, 4, 8, 12)
+            for w in (2, 8, 14, 20)
+        ]
+        params, _ = fit_power(samples)
+        assert params.p_static >= 0.0
+
+
+class TestFitResult:
+    def test_carries_sample_count(self):
+        samples = synth_samples(2.0, 0.6, 0.4, 5.0, 4.0, 1.5)
+        fit = fit_indirect_utility(samples)
+        assert isinstance(fit, FitResult)
+        assert fit.n_samples == len(samples)
+
+    def test_resources_accessor(self):
+        s = ProfileSample(cores=3, ways=7, perf=1.0, power_w=2.0)
+        assert s.resources() == (3.0, 7.0)

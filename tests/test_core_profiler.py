@@ -1,0 +1,154 @@
+"""Tests for repro.core.profiler: grids, sampling, and the slack guard."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import fit_indirect_utility
+from repro.core.profiler import (
+    DEFAULT_SLACK_GUARD,
+    default_profiling_grid,
+    profile_best_effort,
+    profile_latency_critical,
+)
+from repro.errors import ConfigError
+
+
+class TestGrid:
+    def test_includes_extremes(self, spec):
+        grid = default_profiling_grid(spec)
+        cores = {a.cores for a in grid}
+        ways = {a.ways for a in grid}
+        assert 1 in cores and spec.cores in cores
+        assert 1 in ways and spec.llc_ways in ways
+
+    def test_all_points_at_max_frequency(self, spec):
+        assert all(a.freq_ghz == spec.max_freq_ghz
+                   for a in default_profiling_grid(spec))
+
+    def test_step_controls_density(self, spec):
+        coarse = default_profiling_grid(spec, core_step=6, way_step=10)
+        fine = default_profiling_grid(spec, core_step=1, way_step=1)
+        assert len(coarse) < len(fine)
+        assert len(fine) == spec.cores * spec.llc_ways
+
+    def test_invalid_steps_rejected(self, spec):
+        with pytest.raises(ConfigError):
+            default_profiling_grid(spec, core_step=0)
+
+
+class TestBestEffortProfiling:
+    def test_noiseless_samples_match_ground_truth(self, graph, spec):
+        grid = default_profiling_grid(spec)
+        samples = profile_best_effort(graph, grid, rng=None, perf_noise=0.0,
+                                      power_noise=0.0)
+        assert len(samples) == len(grid)
+        for sample, alloc in zip(samples, grid):
+            assert sample.perf == pytest.approx(graph.throughput(alloc))
+            assert sample.power_w == pytest.approx(graph.active_power_w(alloc))
+
+    def test_noise_is_reproducible_per_seed(self, graph, spec):
+        grid = default_profiling_grid(spec)
+        a = profile_best_effort(graph, grid, rng=np.random.default_rng(5))
+        b = profile_best_effort(graph, grid, rng=np.random.default_rng(5))
+        assert [s.perf for s in a] == [s.perf for s in b]
+
+    def test_empty_grid_rejected(self, graph):
+        with pytest.raises(ConfigError):
+            profile_best_effort(graph, [])
+
+
+class TestLatencyCriticalProfiling:
+    def test_slack_guard_filters_small_allocations(self, xapian, spec):
+        grid = default_profiling_grid(spec)
+        low = profile_latency_critical(xapian, grid, load_fraction=0.1, rng=None)
+        high = profile_latency_critical(xapian, grid, load_fraction=0.8, rng=None)
+        assert len(high) < len(low) <= len(grid)
+
+    def test_guard_matches_slack_definition(self, xapian, spec):
+        grid = default_profiling_grid(spec)
+        load = 0.5 * xapian.peak_load
+        kept = profile_latency_critical(xapian, grid, load_fraction=0.5, rng=None)
+        kept_keys = {(s.cores, s.ways) for s in kept}
+        for alloc in grid:
+            expected = xapian.slack(load, alloc) >= DEFAULT_SLACK_GUARD
+            assert ((alloc.cores, alloc.ways) in kept_keys) == expected
+
+    def test_perf_metric_is_capacity(self, xapian, spec):
+        grid = default_profiling_grid(spec)
+        samples = profile_latency_critical(
+            xapian, grid, load_fraction=0.1, rng=None, perf_noise=0.0,
+            power_noise=0.0,
+        )
+        by_key = {(s.cores, s.ways): s for s in samples}
+        for alloc in grid:
+            key = (alloc.cores, alloc.ways)
+            if key in by_key:
+                assert by_key[key].perf == pytest.approx(xapian.capacity(alloc))
+
+    def test_invalid_load_fraction_rejected(self, xapian, spec):
+        grid = default_profiling_grid(spec)
+        with pytest.raises(ConfigError):
+            profile_latency_critical(xapian, grid, load_fraction=1.5)
+
+
+class TestEndToEndFitQuality:
+    """Fig 8's premise: profiling + fitting lands in the paper's R² band."""
+
+    def test_r2_bands(self, lc_apps, be_apps, spec):
+        grid = default_profiling_grid(spec)
+        rng = np.random.default_rng(42)
+        for app in be_apps.values():
+            fit = fit_indirect_utility(profile_best_effort(app, grid, rng=rng))
+            assert 0.70 <= fit.r2_perf <= 1.0
+            assert 0.85 <= fit.r2_power <= 1.0
+        for app in lc_apps.values():
+            fit = fit_indirect_utility(
+                profile_latency_critical(app, grid, load_fraction=0.3, rng=rng)
+            )
+            assert 0.70 <= fit.r2_perf <= 1.0
+            assert 0.85 <= fit.r2_power <= 1.0
+
+    def test_preference_ordering_recovered(self, be_apps, spec):
+        """The fitted indirect preferences must rank graph > rnn > lstm
+        on cores — the ordering placement relies on."""
+        grid = default_profiling_grid(spec)
+        rng = np.random.default_rng(7)
+        shares = {}
+        for name, app in be_apps.items():
+            fit = fit_indirect_utility(profile_best_effort(app, grid, rng=rng))
+            shares[name] = fit.preference_vector()["cores"]
+        assert shares["graph"] > shares["pbzip"] > shares["lstm"]
+        assert shares["rnn"] > shares["lstm"]
+
+
+class TestPowerAccountingConventions:
+    def test_apportioned_power_is_higher(self, graph, spec):
+        grid = default_profiling_grid(spec)
+        active = profile_best_effort(graph, grid, rng=None, perf_noise=0.0,
+                                     power_noise=0.0)
+        attributed = profile_best_effort(graph, grid, rng=None, perf_noise=0.0,
+                                         power_noise=0.0, apportion_idle=True)
+        for a, b in zip(active, attributed):
+            assert b.power_w > a.power_w
+            # The full allocation carries the whole idle power.
+        full_a = next(s for s in active if s.cores == spec.cores
+                      and s.ways == spec.llc_ways)
+        full_b = next(s for s in attributed if s.cores == spec.cores
+                      and s.ways == spec.llc_ways)
+        assert full_b.power_w - full_a.power_w == pytest.approx(
+            spec.idle_power_w
+        )
+
+    def test_apportionment_compresses_preferences(self, graph, spec):
+        import numpy as np
+        grid = default_profiling_grid(spec)
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        fit_active = fit_indirect_utility(
+            profile_best_effort(graph, grid, rng=rng_a))
+        fit_attr = fit_indirect_utility(
+            profile_best_effort(graph, grid, rng=rng_b, apportion_idle=True))
+        active_share = fit_active.preference_vector()["cores"]
+        attr_share = fit_attr.preference_vector()["cores"]
+        assert abs(attr_share - 0.5) < abs(active_share - 0.5)
+        assert (attr_share > 0.5) == (active_share > 0.5)  # same side

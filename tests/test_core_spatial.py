@@ -1,0 +1,136 @@
+"""Tests for repro.core.spatial: spatial sharing of spare resources."""
+
+import itertools
+
+import pytest
+
+from repro.core.spatial import (
+    SpatialShare,
+    exhaustive_partition,
+    partition_spare,
+)
+from repro.errors import CapacityError, ConfigError
+from repro.hwmodel.spec import Allocation
+
+
+@pytest.fixture()
+def be_models(catalog):
+    return {name: fit.model for name, fit in catalog.be_fits.items()}
+
+
+class TestSingleTenant:
+    def test_takes_best_affordable_allocation(self, catalog, be_models):
+        share = partition_spare(
+            {"graph": be_models["graph"]}, Allocation(8, 12), 60.0, catalog.spec
+        )
+        alloc = share.allocation_of("graph")
+        assert not alloc.is_empty
+        assert share.power_used_w <= 60.0 + 1e-9
+        assert alloc.cores <= 8 and alloc.ways <= 12
+
+    def test_shut_out_when_budget_too_small(self, catalog, be_models):
+        share = partition_spare(
+            {"graph": be_models["graph"]}, Allocation(8, 12), 1.0, catalog.spec
+        )
+        assert share.allocation_of("graph").is_empty
+        assert share.predicted_total == 0.0
+
+    def test_empty_spare(self, catalog, be_models):
+        share = partition_spare(
+            {"graph": be_models["graph"]}, Allocation.empty(), 60.0, catalog.spec
+        )
+        assert share.predicted_total == 0.0
+        assert share.active_tenants() == ()
+
+
+class TestTwoTenantExactness:
+    @pytest.mark.parametrize("pair", list(itertools.combinations(
+        ["lstm", "rnn", "graph", "pbzip"], 2)))
+    def test_matches_exhaustive(self, catalog, be_models, pair):
+        models = {name: be_models[name] for name in pair}
+        spare = Allocation(9, 14)
+        solved = partition_spare(models, spare, 65.0, catalog.spec)
+        oracle = exhaustive_partition(models, spare, 65.0, catalog.spec)
+        assert solved.predicted_total == pytest.approx(
+            oracle.predicted_total, abs=1e-9
+        )
+
+    def test_respects_resource_and_power_limits(self, catalog, be_models):
+        models = {n: be_models[n] for n in ("graph", "lstm")}
+        spare = Allocation(6, 10)
+        share = partition_spare(models, spare, 45.0, catalog.spec)
+        total_c = sum(a.cores for a in share.allocations.values())
+        total_w = sum(a.ways for a in share.allocations.values())
+        assert total_c <= spare.cores
+        assert total_w <= spare.ways
+        assert share.power_used_w <= 45.0 + 1e-9
+
+    def test_complementary_pair_both_served(self, catalog, be_models):
+        """graph (cores) + lstm (ways) should comfortably coexist."""
+        models = {n: be_models[n] for n in ("graph", "lstm")}
+        share = partition_spare(models, Allocation(10, 16), 80.0, catalog.spec)
+        assert set(share.active_tenants()) == {"graph", "lstm"}
+        graph_alloc = share.allocation_of("graph")
+        lstm_alloc = share.allocation_of("lstm")
+        # Each gets more of what it prefers.
+        assert graph_alloc.cores > lstm_alloc.cores
+        assert lstm_alloc.ways > graph_alloc.ways
+
+    def test_tight_budget_shuts_out_hungry_tenant(self, catalog, be_models):
+        models = {n: be_models[n] for n in ("graph", "lstm")}
+        share = partition_spare(models, Allocation(10, 16), 14.0, catalog.spec)
+        # graph's cheapest seed costs more than lstm's; with ~14 W only a
+        # subset fits, and the optimizer should still produce something.
+        assert share.predicted_total > 0.0
+        assert share.power_used_w <= 14.0 + 1e-9
+
+
+class TestThreePlusTenants:
+    def test_three_way_partition_valid(self, catalog, be_models):
+        models = {n: be_models[n] for n in ("graph", "lstm", "rnn")}
+        spare = Allocation(9, 14)
+        share = partition_spare(models, spare, 80.0, catalog.spec)
+        assert share.predicted_total > 0.0
+        total_c = sum(a.cores for a in share.allocations.values())
+        total_w = sum(a.ways for a in share.allocations.values())
+        assert total_c <= spare.cores and total_w <= spare.ways
+        assert share.power_used_w <= 80.0 + 1e-9
+
+    def test_three_way_beats_best_solo(self, catalog, be_models):
+        """Sharing must never be worse than giving everything to one app."""
+        models = {n: be_models[n] for n in ("graph", "lstm", "rnn")}
+        spare = Allocation(9, 14)
+        budget = 80.0
+        share = partition_spare(models, spare, budget, catalog.spec)
+        for name in models:
+            solo = partition_spare({name: models[name]}, spare, budget, catalog.spec)
+            assert share.predicted_total >= solo.predicted_total - 1e-9
+
+    def test_too_many_tenants_for_spare(self, catalog, be_models):
+        models = {n: be_models[n] for n in ("graph", "lstm", "rnn", "pbzip")}
+        with pytest.raises(CapacityError):
+            partition_spare(models, Allocation(3, 8), 80.0, catalog.spec)
+
+
+class TestValidation:
+    def test_no_models_rejected(self, catalog):
+        with pytest.raises(ConfigError):
+            partition_spare({}, Allocation(4, 4), 50.0, catalog.spec)
+
+    def test_negative_budget_rejected(self, catalog, be_models):
+        with pytest.raises(ConfigError):
+            partition_spare({"graph": be_models["graph"]}, Allocation(4, 4),
+                            -1.0, catalog.spec)
+
+    def test_exhaustive_requires_two(self, catalog, be_models):
+        with pytest.raises(ConfigError):
+            exhaustive_partition({"graph": be_models["graph"]},
+                                 Allocation(4, 4), 50.0, catalog.spec)
+
+    def test_share_accessors(self, catalog, be_models):
+        share = partition_spare(
+            {n: be_models[n] for n in ("graph", "lstm")},
+            Allocation(8, 12), 70.0, catalog.spec,
+        )
+        assert isinstance(share, SpatialShare)
+        assert share.allocation_of("missing").is_empty

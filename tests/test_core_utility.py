@@ -1,0 +1,283 @@
+"""Tests for repro.core.utility: the Cobb-Douglas indirect utility engine."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.utility import (
+    CobbDouglasParams,
+    IndirectUtilityModel,
+    LinearPowerParams,
+    integer_demand_allocation,
+    integer_min_power_allocation,
+)
+from repro.errors import CapacityError, ConfigError
+from repro.hwmodel.spec import Allocation, ServerSpec
+
+
+@pytest.fixture()
+def model():
+    """A sphinx-like model: cores power-expensive, ways cheap."""
+    return IndirectUtilityModel(
+        perf=CobbDouglasParams(alpha0=2.0, alphas=(0.6, 0.4)),
+        power=LinearPowerParams(p_static=5.0, p=(8.0, 1.5)),
+    )
+
+
+positive_alpha = st.floats(min_value=0.1, max_value=1.5)
+positive_p = st.floats(min_value=0.2, max_value=10.0)
+budget = st.floats(min_value=20.0, max_value=300.0)
+
+
+def random_model(a_c, a_w, p_c, p_w, p_static=5.0, alpha0=2.0):
+    return IndirectUtilityModel(
+        perf=CobbDouglasParams(alpha0=alpha0, alphas=(a_c, a_w)),
+        power=LinearPowerParams(p_static=p_static, p=(p_c, p_w)),
+    )
+
+
+class TestParams:
+    def test_performance_zero_when_any_resource_zero(self, model):
+        assert model.performance((0.0, 10.0)) == 0.0
+        assert model.performance((3.0, 0.0)) == 0.0
+
+    def test_performance_cobb_douglas_form(self, model):
+        perf = model.performance((4.0, 9.0))
+        assert perf == pytest.approx(2.0 * 4.0 ** 0.6 * 9.0 ** 0.4)
+
+    def test_power_linear_form(self, model):
+        assert model.power_w((2.0, 4.0)) == pytest.approx(5.0 + 16.0 + 6.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CobbDouglasParams(alpha0=0.0, alphas=(0.5,))
+        with pytest.raises(ConfigError):
+            CobbDouglasParams(alpha0=1.0, alphas=(0.5, -0.1))
+        with pytest.raises(ConfigError):
+            LinearPowerParams(p_static=-1.0, p=(1.0,))
+        with pytest.raises(ConfigError):
+            LinearPowerParams(p_static=0.0, p=(0.0,))
+
+    def test_halves_must_agree_on_k(self):
+        with pytest.raises(ConfigError):
+            IndirectUtilityModel(
+                perf=CobbDouglasParams(alpha0=1.0, alphas=(0.5, 0.5)),
+                power=LinearPowerParams(p_static=0.0, p=(1.0,)),
+            )
+
+    def test_negative_resources_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.performance((-1.0, 2.0))
+        with pytest.raises(ConfigError):
+            model.power_w((-1.0, 2.0))
+
+    def test_wrong_arity_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.performance((1.0, 2.0, 3.0))
+
+
+class TestPreferences:
+    def test_normalized_and_ordered(self, model):
+        pref = model.preference_vector()
+        assert pref["cores"] + pref["ways"] == pytest.approx(1.0)
+        # cores: 0.6/8 = 0.075; ways: 0.4/1.5 = 0.267 -> ways preferred
+        assert pref["ways"] > pref["cores"]
+
+    def test_direct_preferences(self, model):
+        direct = model.direct_preference_vector()
+        assert direct["cores"] == pytest.approx(0.6)
+        assert direct["ways"] == pytest.approx(0.4)
+
+    def test_sphinx_style_flip(self, model):
+        # Direct prefers cores, indirect prefers ways — the paper's pivot.
+        assert model.direct_preference_vector()["cores"] > 0.5
+        assert model.preference_vector()["cores"] < 0.5
+
+
+class TestDemand:
+    def test_closed_form_values(self, model):
+        # r_j = (P - p_static)/p_j * a_j / sum(a); P=105 -> headroom 100
+        demand = model.demand(105.0)
+        assert demand[0] == pytest.approx(100.0 / 8.0 * 0.6)
+        assert demand[1] == pytest.approx(100.0 / 1.5 * 0.4)
+
+    def test_budget_exactly_spent(self, model):
+        demand = model.demand(105.0)
+        assert model.power_w(demand) == pytest.approx(105.0)
+
+    def test_budget_below_static_rejected(self, model):
+        with pytest.raises(CapacityError):
+            model.demand(4.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(positive_alpha, positive_alpha, positive_p, positive_p, budget)
+    def test_demand_spends_whole_budget(self, a_c, a_w, p_c, p_w, power):
+        model = random_model(a_c, a_w, p_c, p_w)
+        demand = model.demand(power)
+        assert model.power_w(demand) == pytest.approx(power)
+
+    @settings(max_examples=50, deadline=None)
+    @given(positive_alpha, positive_alpha, positive_p, positive_p, budget,
+           st.floats(min_value=-0.3, max_value=0.3),
+           st.integers(min_value=0, max_value=1000))
+    def test_demand_is_optimal_on_budget_line(self, a_c, a_w, p_c, p_w, power,
+                                              shift, seed):
+        """Any same-cost perturbation of the demand performs no better."""
+        model = random_model(a_c, a_w, p_c, p_w)
+        demand = model.demand(power)
+        best = model.performance(demand)
+        # Move delta watts from ways to cores (or back), stay on the line.
+        delta_w = shift * (power - 5.0)
+        r_c = demand[0] + delta_w / p_c
+        r_w = demand[1] - delta_w / p_w
+        if r_c <= 0 or r_w <= 0:
+            return
+        assert model.performance((r_c, r_w)) <= best + 1e-9 * max(1.0, best)
+
+
+class TestLeastPower:
+    def test_dual_reaches_target(self, model):
+        target = 5.0
+        alloc = model.least_power_allocation(target)
+        assert model.performance(alloc) == pytest.approx(target)
+
+    def test_power_formula(self, model):
+        # power = p_static + t * sum(alpha); verify via the allocation.
+        alloc = model.least_power_allocation(5.0)
+        t = alloc[0] * model.power.p[0] / model.perf.alphas[0]
+        assert model.min_power_for_performance(5.0) == pytest.approx(
+            5.0 + t * (0.6 + 0.4)
+        )
+
+    def test_primal_dual_consistency(self, model):
+        """demand(min_power(U)) must reproduce the least-power allocation."""
+        target = 4.0
+        power = model.min_power_for_performance(target)
+        demand = model.demand(power)
+        alloc = model.least_power_allocation(target)
+        assert demand[0] == pytest.approx(alloc[0])
+        assert demand[1] == pytest.approx(alloc[1])
+
+    def test_invalid_target_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.least_power_allocation(0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(positive_alpha, positive_alpha, positive_p, positive_p,
+           st.floats(min_value=0.5, max_value=50.0))
+    def test_dual_is_cheapest_on_indifference_curve(self, a_c, a_w, p_c, p_w, target):
+        model = random_model(a_c, a_w, p_c, p_w)
+        alloc = model.least_power_allocation(target)
+        best_power = model.power_w(alloc)
+        # Walk the indifference curve: same perf, different mixes.
+        for scale in (0.5, 0.8, 1.25, 2.0):
+            r_c = alloc[0] * scale
+            r_w = (target / (model.perf.alpha0 * r_c ** a_c)) ** (1.0 / a_w)
+            assert model.power_w((r_c, r_w)) >= best_power - 1e-6 * best_power
+
+    @settings(max_examples=30, deadline=None)
+    @given(positive_alpha, positive_alpha, positive_p, positive_p)
+    def test_expansion_ray_matches_preference_ratio(self, a_c, a_w, p_c, p_w):
+        model = random_model(a_c, a_w, p_c, p_w)
+        a = model.least_power_allocation(1.0)
+        b = model.least_power_allocation(7.0)
+        assert a[0] / a[1] == pytest.approx(b[0] / b[1])
+        assert a[0] / a[1] == pytest.approx((a_c / p_c) / (a_w / p_w))
+
+
+class TestConstrainedDemand:
+    def test_unconstrained_when_ceiling_loose(self, model):
+        free = model.demand(105.0)
+        capped = model.constrained_demand(105.0, (1e6, 1e6))
+        assert capped[0] == pytest.approx(free[0])
+        assert capped[1] == pytest.approx(free[1])
+
+    def test_ceiling_respected_and_budget_reflows(self, model):
+        free = model.demand(105.0)
+        ceiling = (free[0] * 0.5, 1e6)
+        capped = model.constrained_demand(105.0, ceiling)
+        assert capped[0] == pytest.approx(ceiling[0])
+        # The watts freed by capping cores flow into ways.
+        assert capped[1] > free[1]
+        assert model.power_w(capped) == pytest.approx(105.0)
+
+    def test_both_capped(self, model):
+        capped = model.constrained_demand(1000.0, (2.0, 3.0))
+        assert capped == (2.0, 3.0)
+
+    def test_budget_exhausted_by_caps(self):
+        model = random_model(0.5, 0.5, 10.0, 10.0, p_static=5.0)
+        capped = model.constrained_demand(10.0, (0.4, 1e6))
+        # headroom 5 W; cores capped at 0.4 (4 W), ways get the rest.
+        assert capped[0] <= 0.4 + 1e-9
+        assert model.power_w(capped) <= 10.0 + 1e-9
+
+    def test_validation(self, model):
+        with pytest.raises(ConfigError):
+            model.constrained_demand(50.0, (1.0,))
+        with pytest.raises(ConfigError):
+            model.constrained_demand(50.0, (-1.0, 2.0))
+
+
+class TestIntegerProjections:
+    def test_min_power_feasible_and_minimal_nearby(self, model, spec):
+        target = model.performance((4.0, 8.0))
+        alloc = integer_min_power_allocation(model, target, spec)
+        assert model.performance((alloc.cores, alloc.ways)) >= target
+        # No cheaper feasible neighbor in a radius-2 box.
+        cost = model.power_w((alloc.cores, alloc.ways))
+        for dc in range(-2, 3):
+            for dw in range(-2, 3):
+                c, w = alloc.cores + dc, alloc.ways + dw
+                if not (1 <= c <= spec.cores and 1 <= w <= spec.llc_ways):
+                    continue
+                if model.performance((c, w)) >= target:
+                    assert model.power_w((c, w)) >= cost - 1e-9
+
+    def test_min_power_unreachable_target(self, model, spec):
+        full = model.performance((float(spec.cores), float(spec.llc_ways)))
+        with pytest.raises(CapacityError):
+            integer_min_power_allocation(model, full * 1.5, spec)
+
+    def test_min_power_off_ray_targets_use_grid_scan(self, spec):
+        # Ways-greedy model whose continuous ray leaves the box: the
+        # neighborhood around the rounded ray point misses, grid scan hits.
+        model = random_model(0.3, 0.7, 8.0, 0.5)
+        target = model.performance((float(spec.cores), float(spec.llc_ways))) * 0.95
+        alloc = integer_min_power_allocation(model, target, spec, radius=1)
+        assert model.performance((alloc.cores, alloc.ways)) >= target
+
+    def test_demand_allocation_respects_budget(self, model, spec):
+        alloc = integer_demand_allocation(model, 80.0, spec)
+        assert not alloc.is_empty
+        assert model.power_w((alloc.cores, alloc.ways)) <= 80.0 + 1e-9
+
+    def test_demand_allocation_respects_ceiling(self, model, spec):
+        ceiling = Allocation(cores=3, ways=4)
+        alloc = integer_demand_allocation(model, 500.0, spec, ceiling=ceiling)
+        assert alloc.cores <= 3
+        assert alloc.ways <= 4
+
+    def test_demand_allocation_empty_when_budget_tiny(self, model, spec):
+        assert integer_demand_allocation(model, 1.0, spec).is_empty
+
+    def test_demand_allocation_empty_ceiling(self, model, spec):
+        assert integer_demand_allocation(
+            model, 100.0, spec, ceiling=Allocation.empty()
+        ).is_empty
+
+    def test_greedy_topup_uses_leftover_budget(self, model, spec):
+        small = integer_demand_allocation(model, 40.0, spec)
+        large = integer_demand_allocation(model, 120.0, spec)
+        assert (large.cores, large.ways) >= (small.cores, small.ways)
+
+    def test_two_resource_guard(self, spec):
+        model3 = IndirectUtilityModel(
+            perf=CobbDouglasParams(alpha0=1.0, alphas=(0.3, 0.3, 0.3)),
+            power=LinearPowerParams(p_static=0.0, p=(1.0, 1.0, 1.0)),
+            names=("a", "b", "c"),
+        )
+        with pytest.raises(ConfigError):
+            integer_min_power_allocation(model3, 1.0, spec)

@@ -1,0 +1,104 @@
+"""Property tests of the utility closed forms in arbitrary dimension.
+
+The Section III closed forms are stated for k resources; the 2-resource
+tests pin the shipped instantiation, these pin the general math: for
+random k-dimensional models, the primal demand spends the budget
+exactly and dominates random feasible points, the dual lands on the
+target at the analytic cost, and the two are mutually consistent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.utility import (
+    CobbDouglasParams,
+    IndirectUtilityModel,
+    LinearPowerParams,
+)
+
+
+@st.composite
+def k_models(draw):
+    k = draw(st.integers(min_value=2, max_value=5))
+    alphas = tuple(
+        draw(st.floats(min_value=0.1, max_value=1.0)) for _ in range(k)
+    )
+    p = tuple(draw(st.floats(min_value=0.3, max_value=8.0)) for _ in range(k))
+    alpha0 = draw(st.floats(min_value=0.5, max_value=5.0))
+    p_static = draw(st.floats(min_value=0.0, max_value=10.0))
+    return IndirectUtilityModel(
+        perf=CobbDouglasParams(alpha0=alpha0, alphas=alphas),
+        power=LinearPowerParams(p_static=p_static, p=p),
+        names=tuple(f"r{i}" for i in range(k)),
+    )
+
+
+class TestKDimensionalClosedForms:
+    @settings(max_examples=60, deadline=None)
+    @given(k_models(), st.floats(min_value=15.0, max_value=300.0))
+    def test_demand_spends_budget_exactly(self, model, budget):
+        demand = model.demand(budget)
+        assert model.power_w(demand) == pytest.approx(budget, rel=1e-9)
+        assert all(r > 0 for r in demand)
+
+    @settings(max_examples=60, deadline=None)
+    @given(k_models(), st.floats(min_value=15.0, max_value=300.0),
+           st.integers(min_value=0, max_value=10_000))
+    def test_demand_dominates_random_feasible_points(self, model, budget, seed):
+        demand = model.demand(budget)
+        best = model.performance(demand)
+        rng = np.random.default_rng(seed)
+        k = len(model.names)
+        headroom = budget - model.power.p_static
+        for _ in range(15):
+            weights = rng.dirichlet(np.ones(k))
+            point = tuple(
+                headroom * w / pj for w, pj in zip(weights, model.power.p)
+            )
+            assert model.power_w(point) <= budget + 1e-6
+            assert model.performance(point) <= best * (1 + 1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(k_models(), st.floats(min_value=0.3, max_value=40.0))
+    def test_dual_reaches_target_at_analytic_cost(self, model, target):
+        alloc = model.least_power_allocation(target)
+        assert model.performance(alloc) == pytest.approx(target, rel=1e-9)
+        # Analytic cost: p_static + t * sum(alpha) where t = r_j p_j / a_j.
+        t = alloc[0] * model.power.p[0] / model.perf.alphas[0]
+        assert model.min_power_for_performance(target) == pytest.approx(
+            model.power.p_static + t * model.perf.alpha_sum, rel=1e-9
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(k_models(), st.floats(min_value=0.3, max_value=40.0))
+    def test_primal_dual_roundtrip(self, model, target):
+        power = model.min_power_for_performance(target)
+        assert model.max_performance_under_budget(power) == pytest.approx(
+            target, rel=1e-9
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(k_models())
+    def test_preference_vector_normalized_and_scale_free(self, model):
+        pref = model.preference_vector()
+        assert sum(pref.values()) == pytest.approx(1.0)
+        # Scaling the power side uniformly must not change preferences.
+        scaled = IndirectUtilityModel(
+            perf=model.perf,
+            power=LinearPowerParams(
+                p_static=model.power.p_static * 3.0,
+                p=tuple(3.0 * pj for pj in model.power.p),
+            ),
+            names=model.names,
+        )
+        for name in model.names:
+            assert scaled.preference_vector()[name] == pytest.approx(pref[name])
+
+    @settings(max_examples=40, deadline=None)
+    @given(k_models(), st.floats(min_value=20.0, max_value=200.0))
+    def test_expansion_path_is_a_ray_in_k_dims(self, model, budget):
+        lo = model.least_power_allocation(0.5)
+        hi = model.least_power_allocation(5.0)
+        ratios = [h / l for l, h in zip(lo, hi)]
+        assert max(ratios) == pytest.approx(min(ratios), rel=1e-9)

@@ -1,0 +1,120 @@
+"""Tests for repro.core.validation: fit diagnostics and the §V-G caveat."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import ProfileSample, fit_indirect_utility
+from repro.core.profiler import (
+    default_profiling_grid,
+    profile_best_effort,
+    profile_latency_critical,
+)
+from repro.core.validation import (
+    FitDiagnostics,
+    diagnose_fit,
+    leontief_samples,
+)
+from repro.errors import ConfigError
+
+
+class TestCatalogPasses:
+    """Every paper application must come out trustworthy and rankable."""
+
+    def test_be_apps(self, catalog):
+        grid = default_profiling_grid(catalog.spec)
+        rng = np.random.default_rng(42)
+        for app in catalog.be_apps.values():
+            diag = diagnose_fit(profile_best_effort(app, grid, rng))
+            assert diag.trustworthy, (app.name, diag.warnings)
+            assert diag.preference_rankable
+
+    def test_lc_apps(self, catalog):
+        grid = default_profiling_grid(catalog.spec)
+        rng = np.random.default_rng(42)
+        for app in catalog.lc_apps.values():
+            diag = diagnose_fit(
+                profile_latency_critical(app, grid, load_fraction=0.3, rng=rng)
+            )
+            assert diag.trustworthy, (app.name, diag.warnings)
+
+    def test_residual_trend_small_for_catalog(self, catalog):
+        grid = default_profiling_grid(catalog.spec)
+        rng = np.random.default_rng(42)
+        for app in catalog.be_apps.values():
+            diag = diagnose_fit(profile_best_effort(app, grid, rng))
+            assert diag.residual_trend < 0.35
+
+
+class TestLeontiefStress:
+    """The §V-G caveat: perfect complements break the framework — and the
+    diagnostics must say so."""
+
+    def test_flagged_untrustworthy(self):
+        diag = diagnose_fit(leontief_samples())
+        assert not diag.trustworthy  # the substitution detector fires
+
+    def test_residual_trend_detector_fires(self):
+        diag = diagnose_fit(leontief_samples(noise=0.02))
+        assert diag.residual_trend > 0.5
+        assert any("Leontief" in w for w in diag.warnings)
+
+    def test_preference_unrankable(self):
+        diag = diagnose_fit(leontief_samples())
+        lo, hi = diag.pref_cores_ci
+        assert lo <= 0.5 <= hi
+        assert not diag.preference_rankable
+
+    def test_balanced_catalog_app_is_trusted_but_near_tie(self, catalog):
+        """tpcc's 0.45:0.55 preference is honest balance, not bad fit:
+        trusted, possibly unrankable — the paper's interchangeable pair."""
+        grid = default_profiling_grid(catalog.spec)
+        rng = np.random.default_rng(42)
+        samples = profile_latency_critical(
+            catalog.lc_apps["tpcc"], grid, load_fraction=0.3, rng=rng
+        )
+        diag = diagnose_fit(samples)
+        assert diag.trustworthy
+        lo, hi = diag.pref_cores_ci
+        assert lo < 0.55 and hi > 0.40  # centered near balance
+
+    def test_leontief_ground_truth_shape(self):
+        samples = leontief_samples(noise=0.0)
+        by_key = {(s.cores, s.ways): s.perf for s in samples}
+        # Extra ways beyond the binding core ratio buy nothing.
+        assert by_key[(1, 5)] == pytest.approx(by_key[(1, 20)])
+        # Extra cores beyond the binding way ratio buy nothing.
+        assert by_key[(4, 2)] == pytest.approx(by_key[(2, 2)])
+
+
+class TestThresholdKnobs:
+    def test_r2_threshold_fires(self, catalog):
+        grid = default_profiling_grid(catalog.spec)
+        rng = np.random.default_rng(1)
+        samples = profile_best_effort(catalog.be_apps["rnn"], grid, rng)
+        diag = diagnose_fit(samples, min_r2_perf=0.999)
+        assert any("performance R2" in w for w in diag.warnings)
+
+    def test_returns_to_scale_threshold_fires(self):
+        # A deliberately super-linear world: perf = (c*w)^1.0 -> rts = 2.
+        samples = [
+            ProfileSample(cores=c, ways=w, perf=float(c * w),
+                          power_w=5.0 + 2.0 * c + 1.0 * w)
+            for c in (1, 2, 4, 8, 12)
+            for w in (2, 5, 10, 20)
+        ]
+        diag = diagnose_fit(samples)
+        assert diag.returns_to_scale == pytest.approx(2.0, abs=0.01)
+        assert any("returns to scale" in w for w in diag.warnings)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ConfigError):
+            diagnose_fit(leontief_samples()[:4])
+
+    def test_accepts_prefit_model(self, catalog):
+        grid = default_profiling_grid(catalog.spec)
+        rng = np.random.default_rng(2)
+        samples = profile_best_effort(catalog.be_apps["graph"], grid, rng)
+        fit = fit_indirect_utility(samples)
+        diag = diagnose_fit(samples, fit=fit)
+        assert isinstance(diag, FitDiagnostics)
+        assert diag.r2_perf == fit.r2_perf

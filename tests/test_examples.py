@@ -1,0 +1,50 @@
+"""Smoke tests: every example script must run end to end.
+
+Each example is executed in-process (``runpy``) with stdout captured;
+the tests assert the script completes and prints its headline artifacts.
+The slowest example (full cluster scheduling) is excluded here — it runs
+as part of the benchmark suite's workload instead.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "POColo placement" in out
+        assert "graph" in out and "sphinx" in out
+        assert "SLO violation fraction" in out
+
+    def test_custom_application(self, capsys):
+        out = run_example("custom_application.py", capsys)
+        assert "memcached" in out
+        assert "transcode" in out
+        assert "Placement with the custom apps" in out
+
+    def test_multi_tenant_sharing(self, capsys):
+        out = run_example("multi_tenant_sharing.py", capsys)
+        assert "Time-sharing" in out
+        assert "Spatial advantage" in out
+
+    def test_admission_and_planning(self, capsys):
+        out = run_example("admission_and_planning.py", capsys)
+        assert "Capacity plan" in out
+        assert "Admission control" in out
+        assert "Stranded power" in out
+
+    @pytest.mark.slow
+    def test_websearch_diurnal(self, capsys):
+        out = run_example("websearch_diurnal.py", capsys)
+        assert "Day summary" in out
+        assert "avg BE throughput" in out

@@ -1,0 +1,111 @@
+"""Tests for repro.hwmodel.cache: CAT-style LLC way partitioning."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AllocationError
+from repro.hwmodel.cache import CacheAllocator, _overlaps
+from repro.hwmodel.spec import ServerSpec
+
+
+@pytest.fixture()
+def cache(spec):
+    alloc = CacheAllocator(spec)
+    alloc.set_primary("lc")
+    return alloc
+
+
+class TestCacheAllocator:
+    def test_starts_all_free(self, cache, spec):
+        assert cache.free_ways() == spec.llc_ways
+        assert cache.ways_of("lc") == 0
+        assert cache.mask_of("lc") == 0
+
+    def test_primary_anchors_at_way_zero(self, cache):
+        mask = cache.assign("lc", 5)
+        assert mask == 0b11111
+
+    def test_secondary_packs_at_top(self, cache, spec):
+        mask = cache.assign("be", 4)
+        expected = 0b1111 << (spec.llc_ways - 4)
+        assert mask == expected
+
+    def test_masks_are_contiguous(self, cache):
+        for count in (1, 3, 7, 20):
+            mask = cache.assign("lc", count)
+            bits = bin(mask)[2:]
+            assert "01" not in bits.strip("0") or bits.strip("0").count("0") == 0
+            cache.assign("lc", 0)
+
+    def test_disjoint_when_fits(self, cache):
+        lc_mask = cache.assign("lc", 8)
+        be_mask = cache.assign("be", 12)
+        assert lc_mask & be_mask == 0
+        assert cache.free_ways() == 0
+
+    def test_collision_raises(self, cache):
+        cache.assign("lc", 12)
+        with pytest.raises(AllocationError):
+            cache.assign("be", 9)
+
+    def test_resize_primary_without_remasking_secondary(self, cache):
+        cache.assign("lc", 5)
+        be_before = cache.assign("be", 10)
+        cache.assign("lc", 8)
+        assert cache.mask_of("be") == be_before
+
+    def test_zero_count_removes_mask(self, cache):
+        cache.assign("lc", 5)
+        assert cache.assign("lc", 0) == 0
+        assert cache.ways_of("lc") == 0
+
+    def test_too_many_ways_rejected(self, cache, spec):
+        with pytest.raises(AllocationError):
+            cache.assign("lc", spec.llc_ways + 1)
+
+    def test_negative_count_rejected(self, cache):
+        with pytest.raises(AllocationError):
+            cache.assign("lc", -2)
+
+    def test_release(self, cache, spec):
+        cache.assign("lc", 6)
+        cache.release("lc")
+        assert cache.free_ways() == spec.llc_ways
+
+    def test_snapshot_reports_runs(self, cache):
+        cache.assign("lc", 3)
+        cache.assign("be", 4)
+        snap = cache.snapshot()
+        assert snap["lc"] == (0, 3)
+        assert snap["be"] == (16, 4)
+
+    def test_without_primary_everyone_anchors_low(self, spec):
+        alloc = CacheAllocator(spec)  # no primary declared
+        assert alloc.assign("solo", 4) == 0b1111
+
+    @given(st.integers(min_value=0, max_value=20), st.integers(min_value=0, max_value=20))
+    def test_disjoint_iff_counts_fit(self, lc_ways, be_ways):
+        spec = ServerSpec()
+        alloc = CacheAllocator(spec, primary_tenant="lc")
+        alloc.assign("lc", lc_ways)
+        if lc_ways + be_ways <= spec.llc_ways:
+            mask = alloc.assign("be", be_ways)
+            assert mask & alloc.mask_of("lc") == 0
+        elif be_ways > spec.llc_ways:
+            with pytest.raises(AllocationError):
+                alloc.assign("be", be_ways)
+        else:
+            with pytest.raises(AllocationError):
+                alloc.assign("be", be_ways)
+
+
+class TestOverlapHelper:
+    def test_disjoint(self):
+        assert not _overlaps((0, 3), (3, 4))
+
+    def test_overlapping(self):
+        assert _overlaps((0, 5), (4, 2))
+
+    def test_zero_width_never_overlaps(self):
+        assert not _overlaps((0, 0), (0, 5))
+        assert not _overlaps((3, 2), (4, 0))

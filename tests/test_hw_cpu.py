@@ -1,0 +1,137 @@
+"""Tests for repro.hwmodel.cpu: core pinning and DVFS control."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.hwmodel.cpu import CoreAllocator, DvfsController
+from repro.hwmodel.spec import ServerSpec
+
+
+@pytest.fixture()
+def cores(spec):
+    return CoreAllocator(spec)
+
+
+@pytest.fixture()
+def dvfs(spec):
+    return DvfsController(spec)
+
+
+class TestCoreAllocator:
+    def test_starts_all_free(self, cores):
+        assert cores.free_cores() == frozenset(range(12))
+        assert cores.cores_of("lc") == frozenset()
+
+    def test_assign_takes_lowest_free_ids(self, cores):
+        got = cores.assign("lc", 3)
+        assert got == frozenset({0, 1, 2})
+        assert cores.owner(0) == "lc"
+        assert cores.owner(3) is None
+
+    def test_two_tenants_never_overlap(self, cores):
+        lc = cores.assign("lc", 4)
+        be = cores.assign("be", 5)
+        assert not lc & be
+        assert len(lc) == 4 and len(be) == 5
+
+    def test_grow_keeps_existing_cores(self, cores):
+        before = cores.assign("lc", 3)
+        after = cores.assign("lc", 6)
+        assert before <= after
+        assert len(after) == 6
+
+    def test_shrink_releases_highest_ids_first(self, cores):
+        cores.assign("lc", 6)
+        kept = cores.assign("lc", 2)
+        assert kept == frozenset({0, 1})
+        assert 5 in cores.free_cores()
+
+    def test_grow_after_neighbor_takes_free_ids(self, cores):
+        cores.assign("lc", 2)        # {0,1}
+        cores.assign("be", 2)        # {2,3}
+        grown = cores.assign("lc", 4)
+        assert grown >= {0, 1}
+        assert not grown & cores.cores_of("be")
+
+    def test_oversubscription_rejected(self, cores):
+        cores.assign("lc", 10)
+        with pytest.raises(AllocationError):
+            cores.assign("be", 3)
+
+    def test_shrink_to_zero_removes_tenant(self, cores):
+        cores.assign("lc", 3)
+        assert cores.assign("lc", 0) == frozenset()
+        assert cores.cores_of("lc") == frozenset()
+        assert len(cores.free_cores()) == 12
+
+    def test_release_frees_everything(self, cores):
+        cores.assign("lc", 5)
+        cores.release("lc")
+        assert len(cores.free_cores()) == 12
+
+    def test_release_unknown_tenant_is_noop(self, cores):
+        cores.release("ghost")
+
+    def test_negative_count_rejected(self, cores):
+        with pytest.raises(AllocationError):
+            cores.assign("lc", -1)
+
+    def test_bad_core_id_rejected(self, cores):
+        with pytest.raises(AllocationError):
+            cores.owner(12)
+        with pytest.raises(AllocationError):
+            cores.owner(-1)
+
+
+class TestDvfsController:
+    def test_starts_at_max_frequency(self, dvfs, spec):
+        for c in range(spec.cores):
+            assert dvfs.frequency_of(c) == spec.max_freq_ghz
+
+    def test_set_frequency_applies_to_group(self, dvfs):
+        dvfs.set_frequency([0, 1, 2], 1.8)
+        assert dvfs.frequency_of(0) == 1.8
+        assert dvfs.frequency_of(3) == 2.2
+
+    def test_off_ladder_frequency_rejected(self, dvfs):
+        with pytest.raises(AllocationError):
+            dvfs.set_frequency([0], 1.55)
+
+    def test_throttle_steps_down_in_lockstep(self, dvfs):
+        dvfs.set_frequency([0], 2.0)
+        dvfs.set_frequency([1], 2.2)
+        result = dvfs.throttle([0, 1])
+        assert result == pytest.approx(1.9)  # min(2.0, 2.2) - 0.1
+        assert dvfs.frequency_of(0) == pytest.approx(1.9)
+        assert dvfs.frequency_of(1) == pytest.approx(1.9)
+
+    def test_throttle_clamps_at_min(self, dvfs, spec):
+        dvfs.set_frequency([0], spec.min_freq_ghz)
+        assert dvfs.throttle([0]) == spec.min_freq_ghz
+
+    def test_unthrottle_steps_up(self, dvfs):
+        dvfs.set_frequency([0, 1], 1.5)
+        assert dvfs.unthrottle([0, 1]) == pytest.approx(1.6)
+
+    def test_throttle_empty_group(self, dvfs, spec):
+        assert dvfs.throttle([]) == spec.min_freq_ghz
+        assert dvfs.unthrottle([]) == spec.max_freq_ghz
+
+    def test_group_frequency_is_minimum(self, dvfs):
+        dvfs.set_frequency([0], 1.4)
+        dvfs.set_frequency([1], 2.0)
+        assert dvfs.group_frequency([0, 1]) == pytest.approx(1.4)
+
+    def test_group_frequency_empty_is_max(self, dvfs, spec):
+        assert dvfs.group_frequency([]) == spec.max_freq_ghz
+
+    def test_snapshot_is_sorted_and_complete(self, dvfs, spec):
+        snap = dvfs.snapshot()
+        assert len(snap) == spec.cores
+        assert [core for core, _ in snap] == list(range(spec.cores))
+
+    def test_bad_core_id_rejected(self, dvfs):
+        with pytest.raises(AllocationError):
+            dvfs.frequency_of(99)
+        with pytest.raises(AllocationError):
+            dvfs.set_frequency([99], 2.0)

@@ -1,0 +1,153 @@
+"""Tests for repro.hwmodel.server: the two-tenant server facade."""
+
+import pytest
+
+from repro.errors import AllocationError, ConfigError
+from repro.hwmodel.server import PRIMARY, SECONDARY, Server
+from repro.hwmodel.spec import Allocation
+
+
+class FlatPowerModel:
+    """A fake tenant drawing a fixed wattage per core and way."""
+
+    def __init__(self, per_core=2.0, per_way=1.0):
+        self.per_core = per_core
+        self.per_way = per_way
+
+    def active_power_w(self, alloc):
+        return alloc.cores * self.per_core + alloc.ways * self.per_way
+
+
+@pytest.fixture()
+def server(spec):
+    s = Server(spec, provisioned_power_w=132.0)
+    s.attach("lc", FlatPowerModel(), role=PRIMARY)
+    s.attach("be", FlatPowerModel(per_core=3.0), role=SECONDARY)
+    return s
+
+
+class TestTenantLifecycle:
+    def test_roles_resolve(self, server):
+        assert server.primary_tenant() == "lc"
+        assert server.secondary_tenant() == "be"
+        assert set(server.tenants()) == {"lc", "be"}
+
+    def test_two_primaries_rejected(self, spec):
+        s = Server(spec, provisioned_power_w=100.0)
+        s.attach("a", FlatPowerModel(), role=PRIMARY)
+        with pytest.raises(AllocationError):
+            s.attach("b", FlatPowerModel(), role=PRIMARY)
+
+    def test_duplicate_tenant_rejected(self, server):
+        with pytest.raises(AllocationError):
+            server.attach("lc", FlatPowerModel())
+
+    def test_unknown_role_rejected(self, spec):
+        s = Server(spec, provisioned_power_w=100.0)
+        with pytest.raises(ConfigError):
+            s.attach("x", FlatPowerModel(), role="bystander")
+
+    def test_detach_releases_resources(self, server):
+        server.apply_allocation("lc", Allocation(cores=4, ways=6))
+        server.detach("lc")
+        assert server.primary_tenant() is None
+        assert server.spare_allocation().cores == 12
+
+    def test_unknown_tenant_errors(self, server):
+        with pytest.raises(AllocationError):
+            server.allocation_of("ghost")
+        with pytest.raises(AllocationError):
+            server.detach("ghost")
+
+    def test_invalid_provisioned_power(self, spec):
+        with pytest.raises(ConfigError):
+            Server(spec, provisioned_power_w=0.0)
+
+
+class TestAllocation:
+    def test_apply_and_read_back(self, server):
+        applied = server.apply_allocation("lc", Allocation(cores=3, ways=5, freq_ghz=1.8))
+        assert applied.cores == 3
+        assert applied.ways == 5
+        assert applied.freq_ghz == pytest.approx(1.8)
+
+    def test_joint_capacity_enforced_on_cores(self, server):
+        server.apply_allocation("lc", Allocation(cores=8, ways=5))
+        with pytest.raises(AllocationError):
+            server.apply_allocation("be", Allocation(cores=5, ways=5))
+
+    def test_joint_capacity_enforced_on_ways(self, server):
+        server.apply_allocation("lc", Allocation(cores=2, ways=15))
+        with pytest.raises(AllocationError):
+            server.apply_allocation("be", Allocation(cores=2, ways=6))
+
+    def test_spare_allocation_complements(self, server):
+        server.apply_allocation("lc", Allocation(cores=5, ways=8))
+        spare = server.spare_allocation()
+        assert spare.cores == 7
+        assert spare.ways == 12
+
+    def test_spare_empty_when_any_axis_exhausted(self, server, spec):
+        server.apply_allocation("lc", Allocation(cores=spec.cores, ways=5))
+        assert server.spare_allocation().is_empty
+
+    def test_release_allocation_keeps_tenant(self, server):
+        server.apply_allocation("lc", Allocation(cores=4, ways=4))
+        server.release_allocation("lc")
+        assert server.allocation_of("lc").is_empty
+        assert "lc" in server.tenants()
+
+    def test_duty_cycle_round_trips(self, server):
+        server.apply_allocation("be", Allocation(cores=2, ways=2, duty_cycle=0.6))
+        assert server.allocation_of("be").duty_cycle == pytest.approx(0.6)
+
+    def test_empty_allocation_parks_tenant(self, server):
+        server.apply_allocation("be", Allocation(cores=3, ways=3))
+        server.apply_allocation("be", Allocation.empty())
+        assert server.allocation_of("be").is_empty
+
+
+class TestPower:
+    def test_idle_only_when_parked(self, server, spec):
+        assert server.power_w() == spec.idle_power_w
+
+    def test_power_is_additive(self, server, spec):
+        server.apply_allocation("lc", Allocation(cores=4, ways=6))   # 8+6 = 14
+        server.apply_allocation("be", Allocation(cores=2, ways=4))   # 6+4 = 10
+        assert server.power_w() == pytest.approx(spec.idle_power_w + 24.0)
+
+    def test_duty_cycle_scales_tenant_power(self, server):
+        server.apply_allocation("be", Allocation(cores=2, ways=4, duty_cycle=0.5))
+        assert server.tenant_power_w("be") == pytest.approx(5.0)
+
+    def test_headroom_and_over_cap(self, spec):
+        s = Server(spec, provisioned_power_w=60.0)
+        s.attach("lc", FlatPowerModel(per_core=10.0), role=PRIMARY)
+        assert s.power_headroom_w() == pytest.approx(10.0)
+        assert not s.is_over_cap()
+        s.apply_allocation("lc", Allocation(cores=2, ways=2))
+        assert s.is_over_cap()
+        assert s.power_headroom_w() < 0
+
+    def test_over_cap_margin(self, spec):
+        s = Server(spec, provisioned_power_w=50.0)
+        s.attach("lc", FlatPowerModel(), role=PRIMARY)
+        assert not s.is_over_cap(margin_w=1.0)
+
+
+class TestWithRealApps:
+    def test_real_lc_power_matches_profile(self, spec, xapian):
+        s = Server(spec, provisioned_power_w=154.0)
+        s.attach(xapian.name, xapian, role=PRIMARY)
+        alloc = Allocation(cores=6, ways=10)
+        s.apply_allocation(xapian.name, alloc)
+        expected = spec.idle_power_w + xapian.active_power_w(alloc)
+        assert s.power_w() == pytest.approx(expected)
+
+    def test_peak_power_matches_table2(self, spec, lc_apps):
+        expected = {"img-dnn": 133.0, "sphinx": 182.0, "xapian": 154.0, "tpcc": 133.0}
+        for name, app in lc_apps.items():
+            s = Server(spec, provisioned_power_w=expected[name])
+            s.attach(name, app, role=PRIMARY)
+            s.apply_allocation(name, spec.full_allocation())
+            assert s.power_w() == pytest.approx(expected[name], abs=0.5)

@@ -1,0 +1,145 @@
+"""Robustness and failure-injection tests.
+
+The paper's control loops claim resilience to "load uncertainties and
+model inaccuracies" (Section IV-C) — these tests inject exactly those
+faults and check the system degrades gracefully instead of falling over:
+wrong fitted models, biased power meters, heavy telemetry noise, and
+violent load swings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.server_manager import PowerOptimizedManager
+from repro.hwmodel.capping import PowerCapController
+from repro.hwmodel.meter import PowerMeter
+from repro.sim.colocation import ColocationSim, SimConfig, build_colocated_server
+from repro.workloads.traces import ConstantTrace, StepTrace
+
+
+def build_sim(catalog, lc_name="xapian", be_name="rnn", model_name=None,
+              trace=None, config=None):
+    lc = catalog.lc_apps[lc_name]
+    be = catalog.be_apps[be_name]
+    server = build_colocated_server(
+        catalog.spec, lc, provisioned_power_w=lc.peak_server_power_w(), be_app=be
+    )
+    model = catalog.lc_fits[model_name or lc_name].model
+    manager = PowerOptimizedManager(server, model=model)
+    return ColocationSim(
+        server=server, lc_app=lc,
+        trace=trace if trace is not None else ConstantTrace(0.5),
+        manager=manager, be_app=be,
+        config=config if config is not None else SimConfig(seed=0),
+    )
+
+
+class TestWrongModel:
+    """POM handed another application's fitted model entirely."""
+
+    @pytest.mark.parametrize("wrong", ["sphinx", "img-dnn", "tpcc"])
+    def test_feedback_rescues_the_slo(self, catalog, wrong):
+        sim = build_sim(catalog, lc_name="xapian", model_name=wrong)
+        result = sim.run(duration_s=40.0)
+        # The latency feedback (adaptive headroom) compensates for the
+        # model's wrong capacity predictions; a few transient violations
+        # are tolerable, sustained violation is not.
+        assert result.slo_violation_fraction < 0.15
+
+    def test_wrong_model_costs_efficiency_not_safety(self, catalog):
+        right = build_sim(catalog).run(duration_s=40.0)
+        wrong = build_sim(catalog, model_name="sphinx").run(duration_s=40.0)
+        assert wrong.slo_violation_fraction < 0.15
+        # With a wrong model the manager misjudges the cheap direction;
+        # it should never *beat* the right model on BE throughput by a
+        # meaningful margin.
+        assert wrong.avg_be_throughput_norm <= right.avg_be_throughput_norm + 0.05
+
+
+class TestBiasedPowerMeter:
+    """A systematically wrong socket meter must fail safe, not unsafe."""
+
+    def _run_capped(self, catalog, bias_w, seed=0):
+        lc = catalog.lc_apps["xapian"]
+        be = catalog.be_apps["graph"]
+        server = build_colocated_server(
+            catalog.spec, lc, provisioned_power_w=132.0, be_app=be
+        )
+        from repro.evaluation.motivation import true_min_power_allocation
+        server.apply_allocation(lc.name, true_min_power_allocation(lc, 0.1))
+        server.apply_allocation(be.name, server.spare_allocation())
+        meter = PowerMeter(
+            source=lambda: server.power_w() + bias_w,
+            rng=np.random.default_rng(seed), noise_sigma_w=0.5,
+        )
+        capper = PowerCapController(server, meter)
+        for k in range(400):
+            capper.step(k * 0.1)
+        return server, be
+
+    def test_meter_reading_high_overthrottles_safely(self, catalog):
+        server, be = self._run_capped(catalog, bias_w=+10.0)
+        # True power ends up strictly below the cap (wasteful but safe).
+        assert server.power_w() < server.provisioned_power_w
+
+    def test_meter_reading_low_overshoots_by_at_most_the_bias(self, catalog):
+        server, be = self._run_capped(catalog, bias_w=-10.0)
+        # The loop believes it is at the cap; the true overshoot is
+        # bounded by the meter bias.
+        assert server.power_w() <= server.provisioned_power_w + 10.0 + 1.0
+
+    def test_unbiased_reference(self, catalog):
+        server, be = self._run_capped(catalog, bias_w=0.0)
+        assert server.power_w() <= server.provisioned_power_w + 1.0
+
+
+class TestHeavyTelemetryNoise:
+    def test_slo_held_under_noisy_latency(self, catalog):
+        config = SimConfig(seed=0, latency_noise=0.30, load_noise=0.10)
+        result = build_sim(catalog, config=config).run(duration_s=40.0)
+        assert result.slo_violation_fraction < 0.10
+
+    def test_noise_costs_some_be_throughput(self, catalog):
+        quiet = build_sim(catalog, config=SimConfig(seed=0)).run(duration_s=40.0)
+        noisy = build_sim(
+            catalog, config=SimConfig(seed=0, latency_noise=0.30, load_noise=0.10)
+        ).run(duration_s=40.0)
+        # Noise makes the controller conservative; it must not make it
+        # reckless (more BE throughput at the SLO's expense).
+        assert noisy.avg_be_throughput_norm <= quiet.avg_be_throughput_norm + 0.05
+
+
+class TestLoadSwings:
+    def test_square_wave_recovery(self, catalog):
+        trace = StepTrace.of(
+            (0.0, 0.2), (10.0, 0.9), (20.0, 0.2), (30.0, 0.9), (40.0, 0.2)
+        )
+        result = build_sim(catalog, trace=trace).run(duration_s=50.0)
+        # Each upswing may cost a couple of violating seconds before the
+        # controller reacts; sustained violation means broken recovery.
+        assert result.slo_violation_fraction < 0.15
+        # After the final drop, the BE app must be re-expanded.
+        tput = result.telemetry.series("be_throughput_norm")
+        tail = [v for t, v in zip(tput.times, tput.values) if t >= 45.0]
+        assert max(tail) > 0.1
+
+    def test_flash_crowd_from_idle(self, catalog):
+        trace = StepTrace.of((0.0, 0.05), (20.0, 0.95))
+        result = build_sim(catalog, trace=trace).run(duration_s=40.0)
+        cores = result.telemetry.series("lc_cores")
+        late = [v for t, v in zip(cores.times, cores.values) if t > 30.0]
+        assert max(late) >= 10  # the primary reclaimed nearly everything
+        assert result.slo_violation_fraction < 0.25
+
+
+class TestDegenerateOperatingPoints:
+    def test_zero_load_parks_primary_minimally(self, catalog):
+        result = build_sim(catalog, trace=ConstantTrace(0.0)).run(duration_s=20.0)
+        cores = result.telemetry.series("lc_cores")
+        assert cores.values[-1] <= 2
+        assert result.avg_be_throughput_norm > 0.5
+
+    def test_sustained_peak_load_leaves_no_be_room(self, catalog):
+        result = build_sim(catalog, trace=ConstantTrace(1.0)).run(duration_s=20.0)
+        assert result.avg_be_throughput_norm < 0.10
+        assert result.slo_violation_fraction < 0.30

@@ -1,0 +1,164 @@
+"""Tests for repro.sim.timeshare: multiple BE apps sharing one server."""
+
+import pytest
+
+from repro.core.server_manager import PowerOptimizedManager
+from repro.errors import ConfigError, SimulationError
+from repro.sim.colocation import SimConfig, build_colocated_server
+from repro.sim.timeshare import (
+    BestEffortJob,
+    FcfsScheduler,
+    RoundRobinScheduler,
+    SjfScheduler,
+    TimeSharedColocationSim,
+)
+from repro.workloads.traces import ConstantTrace
+
+
+def make_jobs(catalog, specs):
+    """specs: list of (name, app_name, work, arrival)."""
+    return [
+        BestEffortJob(name=name, app=catalog.be_apps[app], work_units=work,
+                      arrival_s=arrival)
+        for name, app, work, arrival in specs
+    ]
+
+
+def make_sim(catalog, jobs, scheduler, lc_name="xapian", level=0.3, seed=0):
+    lc = catalog.lc_apps[lc_name]
+    server = build_colocated_server(
+        catalog.spec, lc, provisioned_power_w=lc.peak_server_power_w()
+    )
+    manager = PowerOptimizedManager(server, model=catalog.lc_fits[lc_name].model)
+    return TimeSharedColocationSim(
+        server=server, lc_app=lc, trace=ConstantTrace(level),
+        manager=manager, jobs=jobs, scheduler=scheduler,
+        config=SimConfig(seed=seed, warmup_s=0.0),
+    )
+
+
+class TestJobModel:
+    def test_progress_accounting(self, catalog):
+        job = BestEffortJob("j", catalog.be_apps["rnn"], work_units=5.0)
+        assert job.remaining == 5.0
+        assert not job.done
+        job.remaining = 0.0
+        assert job.done
+
+    def test_response_time(self, catalog):
+        job = BestEffortJob("j", catalog.be_apps["rnn"], work_units=5.0,
+                            arrival_s=10.0)
+        assert job.response_time_s is None
+        job.completed_s = 35.0
+        assert job.response_time_s == 25.0
+
+    def test_validation(self, catalog):
+        with pytest.raises(ConfigError):
+            BestEffortJob("j", catalog.be_apps["rnn"], work_units=0.0)
+        with pytest.raises(ConfigError):
+            BestEffortJob("j", catalog.be_apps["rnn"], work_units=1.0,
+                          arrival_s=-5.0)
+
+
+class TestSchedulers:
+    def test_fcfs_picks_earliest_arrival(self, catalog):
+        jobs = make_jobs(catalog, [("a", "rnn", 5, 3.0), ("b", "lstm", 1, 1.0)])
+        assert FcfsScheduler().pick(jobs, 10.0).name == "b"
+
+    def test_sjf_picks_shortest_remaining(self, catalog):
+        jobs = make_jobs(catalog, [("a", "rnn", 5, 0.0), ("b", "lstm", 1, 2.0)])
+        assert SjfScheduler().pick(jobs, 10.0).name == "b"
+
+    def test_round_robin_cycles(self, catalog):
+        jobs = make_jobs(catalog, [("a", "rnn", 5, 0.0), ("b", "lstm", 5, 0.0)])
+        rr = RoundRobinScheduler(quantum_s=2.0)
+        picks = [rr.pick(jobs, t).name for t in (0.0, 2.0, 4.0)]
+        assert picks == ["a", "b", "a"]
+
+    def test_round_robin_validation(self):
+        with pytest.raises(ConfigError):
+            RoundRobinScheduler(quantum_s=0.0)
+
+
+class TestTimeSharedRun:
+    def test_all_jobs_complete(self, catalog):
+        jobs = make_jobs(catalog, [("a", "rnn", 8, 0.0), ("b", "lstm", 8, 0.0)])
+        result = make_sim(catalog, jobs, FcfsScheduler()).run(max_duration_s=200.0)
+        assert result.all_done
+        assert result.makespan_s < 200.0
+        for job in result.jobs:
+            assert job.completed_s is not None
+            assert job.started_s is not None
+
+    def test_fcfs_runs_in_arrival_order(self, catalog):
+        jobs = make_jobs(catalog, [("late", "rnn", 4, 5.0), ("early", "lstm", 4, 0.0)])
+        result = make_sim(catalog, jobs, FcfsScheduler()).run(max_duration_s=200.0)
+        by_name = {j.name: j for j in result.jobs}
+        assert by_name["early"].completed_s < by_name["late"].completed_s
+
+    def test_sjf_beats_fcfs_on_mean_response_time(self, catalog):
+        """The classic scheduling result the paper's SJF mention implies."""
+        specs = [("big", "rnn", 20, 0.0), ("s1", "lstm", 2, 0.0),
+                 ("s2", "pbzip", 2, 0.0)]
+        fcfs = make_sim(catalog, make_jobs(catalog, specs),
+                        FcfsScheduler()).run(max_duration_s=400.0)
+        # FCFS ties on arrival break by name: "big" < "s1" -> big runs first.
+        sjf = make_sim(catalog, make_jobs(catalog, specs),
+                       SjfScheduler()).run(max_duration_s=400.0)
+        assert fcfs.all_done and sjf.all_done
+        assert sjf.mean_response_time_s < fcfs.mean_response_time_s
+
+    def test_work_conservation(self, catalog):
+        jobs = make_jobs(catalog, [("a", "rnn", 6, 0.0), ("b", "graph", 6, 0.0)])
+        result = make_sim(catalog, jobs, SjfScheduler()).run(max_duration_s=300.0)
+        assert result.total_work_done == pytest.approx(12.0, abs=1e-6)
+
+    def test_slo_held_through_swaps(self, catalog):
+        jobs = make_jobs(catalog, [("a", "graph", 5, 0.0), ("b", "lstm", 5, 0.0),
+                                   ("c", "pbzip", 5, 0.0)])
+        result = make_sim(catalog, jobs, RoundRobinScheduler(quantum_s=5.0),
+                          level=0.5).run(max_duration_s=300.0)
+        assert result.slo_violation_fraction < 0.05
+
+    def test_horizon_expiry_leaves_unfinished_jobs(self, catalog):
+        jobs = make_jobs(catalog, [("a", "rnn", 1000, 0.0)])
+        result = make_sim(catalog, jobs, FcfsScheduler()).run(max_duration_s=10.0)
+        assert not result.all_done
+        assert result.jobs[0].remaining > 0
+        assert result.mean_response_time_s == float("inf")
+
+    def test_job_arriving_later_waits(self, catalog):
+        jobs = make_jobs(catalog, [("later", "rnn", 3, 50.0)])
+        result = make_sim(catalog, jobs, FcfsScheduler()).run(max_duration_s=200.0)
+        assert result.jobs[0].started_s >= 50.0
+
+
+class TestValidation:
+    def test_needs_jobs(self, catalog):
+        with pytest.raises(ConfigError):
+            make_sim(catalog, [], FcfsScheduler())
+
+    def test_unique_job_names(self, catalog):
+        jobs = make_jobs(catalog, [("a", "rnn", 1, 0.0), ("a", "lstm", 1, 0.0)])
+        with pytest.raises(ConfigError):
+            make_sim(catalog, jobs, FcfsScheduler())
+
+    def test_rejects_preattached_secondary(self, catalog):
+        lc = catalog.lc_apps["xapian"]
+        server = build_colocated_server(
+            catalog.spec, lc, lc.peak_server_power_w(),
+            be_app=catalog.be_apps["rnn"],
+        )
+        manager = PowerOptimizedManager(server, model=catalog.lc_fits["xapian"].model)
+        jobs = make_jobs(catalog, [("a", "lstm", 1, 0.0)])
+        with pytest.raises(SimulationError):
+            TimeSharedColocationSim(
+                server=server, lc_app=lc, trace=ConstantTrace(0.3),
+                manager=manager, jobs=jobs, scheduler=FcfsScheduler(),
+            )
+
+    def test_invalid_duration(self, catalog):
+        jobs = make_jobs(catalog, [("a", "rnn", 1, 0.0)])
+        sim = make_sim(catalog, jobs, FcfsScheduler())
+        with pytest.raises(ConfigError):
+            sim.run(max_duration_s=0.0)

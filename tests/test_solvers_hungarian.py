@@ -1,0 +1,131 @@
+"""Tests for repro.solvers.hungarian: assignment solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SolverError
+from repro.solvers.hungarian import (
+    brute_force_assignment_max,
+    greedy_assignment_max,
+    solve_assignment_max,
+    solve_assignment_min,
+)
+
+
+class TestKnownInstances:
+    def test_identity_optimal(self):
+        m = [[10, 1, 1], [1, 10, 1], [1, 1, 10]]
+        assignment, total = solve_assignment_max(m)
+        assert assignment == [0, 1, 2]
+        assert total == 30.0
+
+    def test_anti_diagonal(self):
+        m = [[1, 1, 10], [1, 10, 1], [10, 1, 1]]
+        assignment, total = solve_assignment_max(m)
+        assert assignment == [2, 1, 0]
+        assert total == 30.0
+
+    def test_min_version(self):
+        m = [[4, 1, 3], [2, 0, 5], [3, 2, 2]]
+        assignment, total = solve_assignment_min(m)
+        # scipy-verified optimum is 5: (0,1)+(1,0)+(2,2)
+        assert total == 5.0
+
+    def test_single_cell(self):
+        assignment, total = solve_assignment_max([[7.0]])
+        assert assignment == [0]
+        assert total == 7.0
+
+    def test_negative_values(self):
+        m = [[-5, -1], [-2, -8]]
+        assignment, total = solve_assignment_max(m)
+        assert assignment == [1, 0]
+        assert total == -3.0
+
+
+class TestRectangular:
+    def test_more_columns_than_rows(self):
+        m = [[1, 9, 2], [8, 1, 3]]
+        assignment, total = solve_assignment_max(m)
+        assert assignment == [1, 0]
+        assert total == 17.0
+
+    def test_more_rows_than_columns(self):
+        m = [[9], [5], [1]]
+        assignment, total = solve_assignment_max(m)
+        matched = [a for a in assignment if a >= 0]
+        assert matched == [0]
+        assert total == 9.0
+
+
+class TestAgainstReferences:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=10_000))
+    def test_matches_brute_force(self, n, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.normal(size=(n, n)) * 10.0
+        _, hungarian_total = solve_assignment_max(m)
+        _, brute_total = brute_force_assignment_max(m)
+        assert hungarian_total == pytest.approx(brute_total, abs=1e-8)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=7), st.integers(min_value=0, max_value=10_000))
+    def test_matches_scipy(self, n, seed):
+        scipy_opt = pytest.importorskip("scipy.optimize")
+        rng = np.random.default_rng(seed)
+        m = rng.normal(size=(n, n)) * 10.0
+        _, ours = solve_assignment_min(m)
+        rows, cols = scipy_opt.linear_sum_assignment(m)
+        assert ours == pytest.approx(float(m[rows, cols].sum()), abs=1e-8)
+
+    def test_assignment_is_a_permutation(self):
+        rng = np.random.default_rng(5)
+        m = rng.normal(size=(6, 6))
+        assignment, _ = solve_assignment_max(m)
+        assert sorted(assignment) == list(range(6))
+
+
+class TestGreedy:
+    def test_greedy_suboptimal_on_trap_instance(self):
+        # Greedy takes the 10 first and is then forced into 1+1 = 12,
+        # while the optimum pairs 9+9 = 18.
+        m = [[10, 9], [9, 1]]
+        _, greedy_total = greedy_assignment_max(m)
+        _, optimal_total = solve_assignment_max(m)
+        assert greedy_total == 11.0
+        assert optimal_total == 18.0
+
+    def test_greedy_never_beats_optimal(self):
+        rng = np.random.default_rng(9)
+        for _ in range(20):
+            m = rng.normal(size=(5, 5))
+            _, greedy_total = greedy_assignment_max(m)
+            _, optimal_total = solve_assignment_max(m)
+            assert greedy_total <= optimal_total + 1e-9
+
+
+class TestValidation:
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(SolverError):
+            solve_assignment_max(np.zeros((0, 0)))
+
+    def test_nan_rejected(self):
+        with pytest.raises(SolverError):
+            solve_assignment_max([[1.0, float("nan")], [2.0, 3.0]])
+
+    def test_inf_rejected(self):
+        with pytest.raises(SolverError):
+            solve_assignment_min([[1.0, float("inf")], [2.0, 3.0]])
+
+    def test_brute_force_requires_square(self):
+        with pytest.raises(SolverError):
+            brute_force_assignment_max([[1, 2, 3], [4, 5, 6]])
+
+    def test_brute_force_size_guard(self):
+        with pytest.raises(SolverError):
+            brute_force_assignment_max(np.ones((10, 10)))
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(SolverError):
+            solve_assignment_max(np.array([1.0, 2.0]))

@@ -1,0 +1,131 @@
+"""Tests for repro.solvers.transportation and fleet-scale placement."""
+
+import numpy as np
+import pytest
+
+from repro.core.placement import FleetPlacement, fleet_placement
+from repro.errors import ConfigError, SolverError
+from repro.solvers.transportation import (
+    greedy_transportation_max,
+    solve_transportation_max,
+)
+
+
+class TestSolveTransportation:
+    def test_known_instance(self):
+        value = [[5.0, 1.0], [1.0, 4.0]]
+        plan = solve_transportation_max(value, supply=[2, 3], capacity=[3, 3])
+        # Stream 0 entirely on cluster 0, stream 1 entirely on cluster 1.
+        assert plan.flows[0, 0] == 2 and plan.flows[1, 1] == 3
+        assert plan.total_value == pytest.approx(2 * 5.0 + 3 * 4.0)
+
+    def test_capacity_forces_spill(self):
+        value = [[5.0, 1.0]]
+        plan = solve_transportation_max(value, supply=[4], capacity=[3, 3])
+        assert plan.flows[0, 0] == 3
+        assert plan.flows[0, 1] == 1
+        assert plan.total_value == pytest.approx(16.0)
+
+    def test_supply_met_exactly(self):
+        rng = np.random.default_rng(0)
+        value = rng.uniform(0.1, 1.0, size=(3, 4))
+        supply = [5, 7, 2]
+        capacity = [4, 4, 4, 4]
+        plan = solve_transportation_max(value, supply, capacity)
+        assert list(plan.flows.sum(axis=1)) == supply
+        assert all(plan.flows.sum(axis=0) <= capacity)
+
+    def test_reduces_to_assignment_when_unit(self):
+        from repro.solvers.hungarian import solve_assignment_max
+
+        rng = np.random.default_rng(2)
+        value = rng.normal(size=(4, 4)) + 5.0
+        plan = solve_transportation_max(value, [1] * 4, [1] * 4)
+        _, assignment_total = solve_assignment_max(value)
+        assert plan.total_value == pytest.approx(assignment_total)
+
+    def test_lp_at_least_greedy(self):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            value = rng.uniform(0.0, 1.0, size=(3, 3))
+            supply = list(rng.integers(1, 5, size=3))
+            capacity = list(rng.integers(3, 7, size=3))
+            if sum(supply) > sum(capacity):
+                continue
+            lp = solve_transportation_max(value, supply, capacity)
+            greedy = greedy_transportation_max(value, supply, capacity)
+            assert lp.total_value >= greedy.total_value - 1e-9
+
+    def test_greedy_suboptimal_on_trap(self):
+        # Greedy takes (0,0)=10 first, forcing stream 1 onto the bad cell.
+        value = [[10.0, 9.0], [9.0, 1.0]]
+        lp = solve_transportation_max(value, [1, 1], [1, 1])
+        greedy = greedy_transportation_max(value, [1, 1], [1, 1])
+        assert greedy.total_value == pytest.approx(11.0)
+        assert lp.total_value == pytest.approx(18.0)
+
+    def test_servers_for_accessor(self):
+        plan = solve_transportation_max([[1.0, 2.0]], supply=[3], capacity=[2, 2])
+        assert plan.servers_for(0) == 3
+
+    def test_validation(self):
+        with pytest.raises(SolverError):
+            solve_transportation_max([[1.0]], supply=[2], capacity=[1])
+        with pytest.raises(SolverError):
+            solve_transportation_max([[1.0]], supply=[1, 2], capacity=[1])
+        with pytest.raises(SolverError):
+            solve_transportation_max([[float("nan")]], supply=[1], capacity=[1])
+        with pytest.raises(SolverError):
+            solve_transportation_max(np.zeros((0, 0)), supply=[], capacity=[])
+        with pytest.raises(SolverError):
+            solve_transportation_max([[1.0]], supply=[-1], capacity=[1])
+
+
+class TestFleetPlacement:
+    @pytest.fixture()
+    def matrix(self, catalog):
+        return catalog.performance_matrix()
+
+    def test_respects_demands_and_capacities(self, matrix):
+        demands = {"lstm": 10, "rnn": 5, "graph": 8, "pbzip": 7}
+        capacities = {"img-dnn": 12, "sphinx": 8, "xapian": 6, "tpcc": 6}
+        plan = fleet_placement(matrix, demands, capacities)
+        for be, want in demands.items():
+            assert sum(plan.servers(be, lc) for lc in plan.lc_names) == want
+        for lc, cap in capacities.items():
+            assert sum(plan.servers(be, lc) for be in plan.be_names) <= cap
+
+    def test_unit_fleet_matches_assignment(self, matrix, catalog):
+        from repro.core.placement import pocolo_placement
+
+        unit = {name: 1 for name in matrix.be_names}
+        caps = {name: 1 for name in matrix.lc_names}
+        plan = fleet_placement(matrix, unit, caps)
+        decision = pocolo_placement(matrix)
+        assert plan.predicted_total == pytest.approx(decision.predicted_total)
+        for be, lc in decision.mapping.items():
+            assert plan.servers(be, lc) == 1
+
+    def test_uncontended_stream_takes_its_best_column(self, matrix):
+        # Zero-demand streams are allowed: they just ship nothing, and
+        # the only real stream goes entirely to its best predicted home.
+        demands = {"lstm": 0, "rnn": 0, "graph": 5, "pbzip": 0}
+        capacities = {"img-dnn": 5, "sphinx": 5, "xapian": 5, "tpcc": 5}
+        plan = fleet_placement(matrix, demands, capacities)
+        best_lc = max(matrix.lc_names, key=lambda lc: matrix.cell("graph", lc))
+        assert plan.servers("graph", best_lc) == 5
+
+    def test_lp_beats_greedy(self, matrix):
+        demands = {"lstm": 30, "rnn": 20, "graph": 25, "pbzip": 15}
+        capacities = {"img-dnn": 40, "sphinx": 30, "xapian": 20, "tpcc": 20}
+        lp = fleet_placement(matrix, demands, capacities, method="lp")
+        greedy = fleet_placement(matrix, demands, capacities, method="greedy")
+        assert lp.predicted_total >= greedy.predicted_total - 1e-9
+
+    def test_validation(self, matrix):
+        with pytest.raises(ConfigError):
+            fleet_placement(matrix, {"lstm": 1}, {"img-dnn": 1})
+        demands = {name: 1 for name in matrix.be_names}
+        caps = {name: 1 for name in matrix.lc_names}
+        with pytest.raises(ConfigError):
+            fleet_placement(matrix, demands, caps, method="quantum")

@@ -1,0 +1,181 @@
+"""Tests for repro.workloads.generators: production-shaped traces."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.workloads.generators import (
+    DAY_S,
+    WEEK_S,
+    CompositeTrace,
+    FlashCrowdTrace,
+    GrowthTrace,
+    TraceStatistics,
+    WeeklyTrace,
+    trace_statistics,
+)
+from repro.workloads.traces import ConstantTrace, DiurnalTrace
+
+
+class TestWeeklyTrace:
+    def test_weekend_slump(self):
+        trace = WeeklyTrace()
+        peak_hour = trace.base.peak_time_s
+        weekday = trace.load_fraction(peak_hour)          # day 0
+        weekend = trace.load_fraction(5 * DAY_S + peak_hour)  # day 5
+        assert weekend < weekday
+
+    def test_weekly_periodicity(self):
+        trace = WeeklyTrace()
+        assert trace.load_fraction(1234.0) == pytest.approx(
+            trace.load_fraction(1234.0 + WEEK_S)
+        )
+
+    def test_unit_factors_reduce_to_base(self):
+        trace = WeeklyTrace(day_factors=(1.0,) * 7)
+        for t in (0.0, 3 * 3600.0, 2 * DAY_S + 1000.0):
+            assert trace.load_fraction(t) == pytest.approx(
+                trace.base.load_fraction(t)
+            )
+
+    @given(st.floats(min_value=0.0, max_value=3 * WEEK_S))
+    def test_bounds(self, t):
+        assert 0.0 <= WeeklyTrace().load_fraction(t) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WeeklyTrace(day_factors=(1.0,) * 6)
+        with pytest.raises(ConfigError):
+            WeeklyTrace(day_factors=(1.0,) * 6 + (-0.5,))
+
+
+class TestFlashCrowdTrace:
+    @pytest.fixture()
+    def trace(self):
+        return FlashCrowdTrace(
+            base=ConstantTrace(0.3),
+            events=((1000.0, 600.0, 0.8),),
+            decay_s=300.0,
+        )
+
+    def test_quiet_before_event(self, trace):
+        assert trace.load_fraction(500.0) == pytest.approx(0.3)
+
+    def test_lift_during_event(self, trace):
+        # 0.3 + 0.8 * (1 - 0.3) = 0.86
+        assert trace.load_fraction(1200.0) == pytest.approx(0.86)
+
+    def test_exponential_decay_after(self, trace):
+        just_after = trace.load_fraction(1601.0)
+        later = trace.load_fraction(1600.0 + 900.0)
+        assert 0.3 < later < just_after <= 0.86 + 1e-9
+
+    def test_overlapping_events_compound_but_cap(self):
+        trace = FlashCrowdTrace(
+            base=ConstantTrace(0.5),
+            events=((0.0, 100.0, 1.0), (0.0, 100.0, 1.0)),
+        )
+        assert trace.load_fraction(50.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FlashCrowdTrace(ConstantTrace(0.5), events=((-1.0, 10.0, 0.5),))
+        with pytest.raises(ConfigError):
+            FlashCrowdTrace(ConstantTrace(0.5), events=((0.0, 0.0, 0.5),))
+        with pytest.raises(ConfigError):
+            FlashCrowdTrace(ConstantTrace(0.5), events=((0.0, 10.0, 1.5),))
+        with pytest.raises(ConfigError):
+            FlashCrowdTrace(ConstantTrace(0.5), events=(), decay_s=0.0)
+
+
+class TestGrowthTrace:
+    def test_compound_growth(self):
+        trace = GrowthTrace(base=ConstantTrace(0.4), weekly_growth=0.10)
+        assert trace.load_fraction(0.0) == pytest.approx(0.4)
+        assert trace.load_fraction(WEEK_S) == pytest.approx(0.44)
+        assert trace.load_fraction(2 * WEEK_S) == pytest.approx(0.484)
+
+    def test_saturates_at_one(self):
+        trace = GrowthTrace(base=ConstantTrace(0.9), weekly_growth=0.5)
+        assert trace.load_fraction(10 * WEEK_S) == 1.0
+
+    def test_decline_allowed(self):
+        trace = GrowthTrace(base=ConstantTrace(0.8), weekly_growth=-0.2)
+        assert trace.load_fraction(WEEK_S) == pytest.approx(0.64)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            GrowthTrace(base=ConstantTrace(0.5), weekly_growth=-1.5)
+
+
+class TestCompositeTrace:
+    def test_weighted_mixture(self):
+        trace = CompositeTrace(
+            components=((ConstantTrace(0.2), 1.0), (ConstantTrace(0.8), 3.0))
+        )
+        assert trace.load_fraction(0.0) == pytest.approx(0.65)
+
+    def test_single_component_passthrough(self):
+        trace = CompositeTrace(components=((ConstantTrace(0.37), 2.0),))
+        assert trace.load_fraction(123.0) == pytest.approx(0.37)
+
+    def test_phase_shifted_mixture_flattens_peaks(self):
+        a = DiurnalTrace(peak_time_s=0.0)
+        b = DiurnalTrace(peak_time_s=DAY_S / 2)
+        mixed = CompositeTrace(components=((a, 1.0), (b, 1.0)))
+        stats = trace_statistics(mixed, horizon_s=DAY_S, samples=288)
+        solo = trace_statistics(a, horizon_s=DAY_S, samples=288)
+        assert stats.peak_to_mean < solo.peak_to_mean
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CompositeTrace(components=())
+        with pytest.raises(ConfigError):
+            CompositeTrace(components=((ConstantTrace(0.5), -1.0),))
+        with pytest.raises(ConfigError):
+            CompositeTrace(components=((ConstantTrace(0.5), 0.0),))
+
+
+class TestTraceStatistics:
+    def test_constant(self):
+        stats = trace_statistics(ConstantTrace(0.4), horizon_s=DAY_S)
+        assert stats.peak == pytest.approx(0.4)
+        assert stats.mean == pytest.approx(0.4)
+        assert stats.peak_to_mean == pytest.approx(1.0)
+        assert stats.off_peak_fraction == 1.0  # 0.4 < 0.5 always
+
+    def test_diurnal_shape(self):
+        stats = trace_statistics(
+            DiurnalTrace(min_fraction=0.1, max_fraction=0.9), horizon_s=DAY_S
+        )
+        assert stats.peak == pytest.approx(0.9, abs=0.02)
+        assert stats.mean == pytest.approx(0.5, abs=0.02)
+        assert 1.5 < stats.peak_to_mean < 2.0
+        assert 0.3 < stats.off_peak_fraction < 0.7
+
+    def test_zero_mean_guard(self):
+        stats = TraceStatistics(peak=0.0, mean=0.0, p95=0.0, off_peak_fraction=1.0)
+        assert stats.peak_to_mean == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            trace_statistics(ConstantTrace(0.5), samples=1)
+        with pytest.raises(ConfigError):
+            trace_statistics(ConstantTrace(0.5), horizon_s=0.0)
+        with pytest.raises(ConfigError):
+            trace_statistics(ConstantTrace(0.5), off_peak_threshold=0.0)
+
+
+class TestPlanningIntegration:
+    def test_weekly_trace_plans_lower_than_flash_crowd(self, xapian):
+        """Capacity planning consumes these traces directly."""
+        from repro.cost.planning import plan_power
+
+        calm = WeeklyTrace(base=DiurnalTrace(min_fraction=0.1, max_fraction=0.7))
+        spiky = FlashCrowdTrace(
+            base=DiurnalTrace(min_fraction=0.1, max_fraction=0.7),
+            events=((12 * 3600.0, 3600.0, 0.9),),
+        )
+        calm_plan = plan_power(xapian, calm, horizon_s=WEEK_S, samples=96)
+        spiky_plan = plan_power(xapian, spiky, horizon_s=WEEK_S, samples=96)
+        assert spiky_plan.provisioned_power_w > calm_plan.provisioned_power_w

@@ -8,6 +8,7 @@ from repro.analysis.stats import (
 )
 from repro.analysis.reporting import (
     format_cell,
+    format_degradation,
     format_series,
     format_table,
     percent_change,
@@ -19,6 +20,7 @@ __all__ = [
     "paired_diff_ci",
     "relative_gain_ci",
     "format_cell",
+    "format_degradation",
     "format_series",
     "format_table",
     "percent_change",

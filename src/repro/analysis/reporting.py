@@ -96,3 +96,40 @@ def percent_change(new: float, old: float) -> float:
     if old == 0:
         raise ConfigError("cannot compute change against a zero base")
     return new / old - 1.0
+
+
+def format_degradation(
+    rows: Sequence[Sequence[Cell]],
+    precision: int = 3,
+    title: str = "Degradation under faults",
+) -> str:
+    """Render the graceful-degradation table of one or more runs.
+
+    Each row is ``(label, cap_stats, manager_stats)`` where the stats are
+    the :class:`~repro.hwmodel.capping.CapStats` and
+    :class:`~repro.core.server_manager.ManagerStats` of a run — this is
+    the evaluation-table view of the fault counters (safe-mode activity,
+    model-distrust fallbacks, solver fallbacks; see ``docs/FAULTS.md``).
+    """
+    table_rows: List[List[Cell]] = []
+    for row in rows:
+        if len(row) != 3:
+            raise ConfigError(
+                "degradation rows are (label, cap_stats, manager_stats)"
+            )
+        label, cap, mgr = row
+        table_rows.append([
+            str(label),
+            cap.safe_mode_steps,
+            cap.safe_mode_fraction,
+            cap.watchdog_trips,
+            cap.over_cap_fraction,
+            mgr.model_fallbacks,
+            mgr.model_fallback_fraction,
+            mgr.solver_fallbacks,
+        ])
+    return format_table(
+        ["run", "safe steps", "safe frac", "wd trips", "over-cap frac",
+         "model fb", "model fb frac", "solver fb"],
+        table_rows, precision=precision, title=title,
+    )

@@ -43,6 +43,7 @@ from repro.core.multires import (
 from repro.core.placement import (
     DEFAULT_PLACEMENT_MARGIN,
     FleetPlacement,
+    assign_with_fallback,
     fleet_placement,
     LcServerSide,
     PerformanceMatrix,
@@ -126,6 +127,7 @@ __all__ = [
     "default_profiling_grid",
     "diagnose_fit",
     "FleetPlacement",
+    "assign_with_fallback",
     "enumerate_placements",
     "fleet_placement",
     "exhaustive_partition",

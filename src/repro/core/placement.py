@@ -27,7 +27,7 @@ from repro.core.utility import (
     integer_demand_allocation,
     integer_min_power_allocation,
 )
-from repro.errors import CapacityError, ConfigError
+from repro.errors import CapacityError, ConfigError, SolverError
 from repro.hwmodel.spec import Allocation, ServerSpec, spare_of
 from repro.solvers.assignment import assign_max
 from repro.workloads.traces import UNIFORM_EVAL_LEVELS
@@ -70,11 +70,18 @@ class PerformanceMatrix:
 
 @dataclass(frozen=True)
 class PlacementDecision:
-    """A full cluster placement: every BE app matched to one LC server."""
+    """A full cluster placement: every BE app matched to one LC server.
+
+    ``solver_fallbacks`` counts how many solve attempts failed before
+    this decision was reached (0 = the requested method succeeded
+    first try); ``method`` names the back end that actually produced
+    the assignment.
+    """
 
     mapping: Dict[str, str]  # be name -> lc name
     predicted_total: float
     method: str
+    solver_fallbacks: int = 0
 
     def lc_for(self, be: str) -> str:
         """The LC server assigned to a BE app."""
@@ -163,21 +170,67 @@ def build_performance_matrix(
     return PerformanceMatrix(be_names=be_names, lc_names=lc_names, values=values)
 
 
+def assign_with_fallback(
+    values: np.ndarray, method: str = "lp", retries: int = 1
+) -> Tuple[List[int], float, str, int]:
+    """Solve an assignment with bounded retry and a greedy last resort.
+
+    Production placement must produce *some* feasible assignment even
+    when the optimal solver fails (numerical trouble, NaN-poisoned
+    matrix, ...).  The requested ``method`` is retried up to ``retries``
+    times on :class:`SolverError`; after that, non-finite cells are
+    zeroed (a failed prediction is worth nothing, not un-placeable) and
+    the greedy heuristic decides.  Returns
+    ``(assignment, total, method_used, fallbacks)`` where ``fallbacks``
+    counts failed attempts.
+    """
+    if retries < 0:
+        raise ConfigError("retries cannot be negative")
+    fallbacks = 0
+    last_error: Optional[SolverError] = None
+    for _ in range(1 + retries):
+        try:
+            assignment, total = assign_max(values, method=method)
+            return assignment, total, method, fallbacks
+        except SolverError as exc:
+            fallbacks += 1
+            last_error = exc
+    sanitized = np.nan_to_num(
+        np.asarray(values, dtype=float), nan=0.0, posinf=0.0, neginf=0.0
+    )
+    try:
+        assignment, total = assign_max(sanitized, method="greedy")
+    except SolverError as exc:  # ill-formed beyond repair (bad shape)
+        raise SolverError(
+            f"assignment failed for {method!r} ({last_error}) and the "
+            f"greedy fallback could not recover: {exc}"
+        ) from exc
+    return assignment, total, "greedy-fallback", fallbacks
+
+
 def pocolo_placement(
-    matrix: PerformanceMatrix, method: str = "lp"
+    matrix: PerformanceMatrix, method: str = "lp", retries: int = 1
 ) -> PlacementDecision:
     """Solve the matrix for the throughput-maximizing assignment.
 
     ``method`` selects the back end (``lp`` is the paper's choice;
-    ``hungarian``/``greedy``/``brute`` exist for the A2 ablation).
+    ``hungarian``/``greedy``/``brute`` exist for the A2 ablation).  On
+    :class:`SolverError` the solve is retried ``retries`` times and then
+    falls back to the greedy heuristic, so placement always returns a
+    feasible decision; the decision records how it was reached.
     """
-    assignment, total = assign_max(matrix.values, method=method)
+    assignment, total, used, fallbacks = assign_with_fallback(
+        matrix.values, method=method, retries=retries
+    )
     mapping = {
         matrix.be_names[i]: matrix.lc_names[j]
         for i, j in enumerate(assignment)
         if j >= 0
     }
-    return PlacementDecision(mapping=mapping, predicted_total=total, method=method)
+    return PlacementDecision(
+        mapping=mapping, predicted_total=total, method=used,
+        solver_fallbacks=fallbacks,
+    )
 
 
 def random_placement(

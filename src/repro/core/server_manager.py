@@ -44,18 +44,50 @@ DEFAULT_SLACK_UPPER = 0.45
 
 @dataclass
 class ManagerStats:
-    """Counters for controller activity, used by reports and ablations."""
+    """Counters for controller activity, used by reports and ablations.
+
+    The degradation counters record graceful-degradation activity
+    (``docs/FAULTS.md``): ``model_fallbacks`` counts entries into the
+    model-distrust feedback mode of :class:`PowerOptimizedManager`,
+    ``model_fallback_steps`` the control steps spent there, and
+    ``solver_fallbacks`` the times an analytical/solver path failed and a
+    conservative answer was substituted.
+    """
 
     control_steps: int = 0
     reconfigurations: int = 0
     slo_violations: int = 0
     grow_actions: int = 0
     shrink_actions: int = 0
+    model_fallbacks: int = 0
+    model_fallback_steps: int = 0
+    solver_fallbacks: int = 0
 
     @property
     def violation_fraction(self) -> float:
         """Fraction of control steps observed below zero slack."""
         return self.slo_violations / self.control_steps if self.control_steps else 0.0
+
+    @property
+    def model_fallback_fraction(self) -> float:
+        """Fraction of control steps spent distrusting the fitted model."""
+        return (
+            self.model_fallback_steps / self.control_steps
+            if self.control_steps else 0.0
+        )
+
+
+def balanced_allocation(spec, cores: int) -> Allocation:
+    """A feasible indifference-region point on the balanced path.
+
+    Cores and ways scale in the server's core:way proportion — the
+    power-unaware walk both the Heracles-like baseline and POM's
+    model-distrust fallback use.
+    """
+    way_per_core = spec.llc_ways / spec.cores
+    c = max(1, min(spec.cores, cores))
+    w = max(1, min(spec.llc_ways, round(c * way_per_core)))
+    return Allocation(cores=c, ways=w, freq_ghz=spec.max_freq_ghz)
 
 
 class ServerManagerBase:
@@ -283,11 +315,7 @@ class HeraclesLikeManager(ServerManagerBase):
 
     def _balanced(self, cores: int) -> Allocation:
         """A feasible indifference-region point on the balanced path."""
-        spec = self.server.spec
-        way_per_core = spec.llc_ways / spec.cores
-        c = max(1, min(spec.cores, cores))
-        w = max(1, min(spec.llc_ways, round(c * way_per_core)))
-        return Allocation(cores=c, ways=w, freq_ghz=spec.max_freq_ghz)
+        return balanced_allocation(self.server.spec, cores)
 
 
 class PowerOptimizedManager(ServerManagerBase):
@@ -309,6 +337,19 @@ class PowerOptimizedManager(ServerManagerBase):
         Allow stepping the primary's core frequency down when slack
         stays high at the smallest allocation (the "including core
         frequency" fine-tuning of Section IV-C).
+    distrust_after:
+        Consecutive *model misses* tolerated before the manager stops
+        trusting the fitted model.  A miss is a control step whose
+        observed slack falls below target even though the model's last
+        allocation promised (at full frequency) enough capacity for the
+        currently measured load — i.e. the model overestimated, as a
+        stale or mis-fitted model does.  Starvation during a load surge
+        is *not* a miss; that is the feedback loop's normal business.
+    retrust_after:
+        Control steps spent in the fallback (Heracles-style balanced
+        feedback stepping, no model jumps) before the model is given
+        another chance.  Persistent model error re-enters the fallback
+        after ``distrust_after`` further misses.
     """
 
     power_aware = True
@@ -323,15 +364,54 @@ class PowerOptimizedManager(ServerManagerBase):
         min_headroom: float = 1.05,
         max_headroom: float = 2.50,
         freq_trim: bool = True,
+        distrust_after: int = 3,
+        retrust_after: int = 15,
     ) -> None:
         super().__init__(server, slack_target=slack_target, slack_upper=slack_upper)
         if not min_headroom <= headroom <= max_headroom:
             raise ConfigError("need min_headroom <= headroom <= max_headroom")
+        if distrust_after < 1 or retrust_after < 1:
+            raise ConfigError("distrust/retrust pacing must be at least 1 step")
         self.model = model
         self.headroom = headroom
         self.min_headroom = min_headroom
         self.max_headroom = max_headroom
         self.freq_trim = freq_trim
+        self.distrust_after = distrust_after
+        self.retrust_after = retrust_after
+        self._miss_streak = 0
+        self._fallback_steps_left = 0
+        self._promised_capacity: Optional[float] = None
+        self._promised_at_max_freq = True
+
+    @property
+    def distrusts_model(self) -> bool:
+        """True while the manager is in the feedback-only fallback."""
+        return self._fallback_steps_left > 0
+
+    def _observe_model_miss(self, measured_load: float, measured_slack: float) -> None:
+        """Update the distrust counter from the last promise vs. reality."""
+        if self._promised_capacity is None or not self._promised_at_max_freq:
+            return
+        covered = measured_load <= self._promised_capacity * 0.95
+        if measured_slack < self.slack_target and covered:
+            self._miss_streak += 1
+        else:
+            self._miss_streak = 0
+
+    def _feedback_allocation(
+        self, current: Allocation, measured_slack: float
+    ) -> Allocation:
+        """Heracles-style balanced stepping, used while distrusting."""
+        if current.is_empty:
+            return balanced_allocation(self.server.spec, 1)
+        if measured_slack < self.slack_target:
+            return balanced_allocation(self.server.spec, current.cores + 1)
+        if measured_slack > self.slack_upper:
+            return balanced_allocation(self.server.spec, current.cores - 1)
+        # In band: hold resources, but pin frequency to maximum — the
+        # fallback never carries a trimmed frequency forward.
+        return balanced_allocation(self.server.spec, current.cores)
 
     def _decide_primary_allocation(
         self, current: Allocation, measured_load: float, measured_slack: float
@@ -347,13 +427,27 @@ class PowerOptimizedManager(ServerManagerBase):
             self.stats.shrink_actions += 1
             self.headroom = max(self.min_headroom, self.headroom * 0.93)
 
+        # Model distrust: when predictions repeatedly miss observed
+        # slack, fall back to pure feedback stepping for a while.
+        self._observe_model_miss(measured_load, measured_slack)
+        if self._fallback_steps_left == 0 and self._miss_streak >= self.distrust_after:
+            self.stats.model_fallbacks += 1
+            self._fallback_steps_left = self.retrust_after
+            self._miss_streak = 0
+        if self._fallback_steps_left > 0:
+            self._fallback_steps_left -= 1
+            self.stats.model_fallback_steps += 1
+            self._promised_capacity = None
+            return self._feedback_allocation(current, measured_slack)
+
         target_capacity = max(measured_load, 1e-9) * self.headroom
         floor_perf = self.model.performance((1.0, 1.0))
         full_perf = self.model.performance((float(spec.cores), float(spec.llc_ways)))
         target_capacity = min(max(target_capacity, floor_perf), full_perf)
         try:
             alloc = integer_min_power_allocation(self.model, target_capacity, spec)
-        except CapacityError:  # pragma: no cover - clamped above
+        except CapacityError:  # defensive: clamped above
+            self.stats.solver_fallbacks += 1
             alloc = spec.full_allocation()
 
         # Frequency fine-tuning: when the smallest allocation still
@@ -366,4 +460,8 @@ class PowerOptimizedManager(ServerManagerBase):
                 freq = spec.ladder.step_down(current.freq_ghz)
             elif measured_slack >= self.slack_target:
                 freq = current.freq_ghz
+        self._promised_capacity = self.model.performance(
+            (float(alloc.cores), float(alloc.ways))
+        )
+        self._promised_at_max_freq = freq >= spec.max_freq_ghz - 1e-9
         return Allocation(cores=alloc.cores, ways=alloc.ways, freq_ghz=freq)

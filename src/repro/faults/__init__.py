@@ -1,0 +1,54 @@
+"""Fault injection and graceful-degradation machinery.
+
+This package supplies the *fault model* for the Pocolo control stack:
+
+* :mod:`repro.faults.schedule` — seeded, time-triggered
+  :class:`FaultSchedule` of composable faults (stuck/drifting/dropped-out
+  meters, telemetry gaps, load spikes, stale models);
+* :mod:`repro.faults.meter` — :class:`FaultyPowerMeter`, a drop-in meter
+  that honors the schedule;
+* :mod:`repro.faults.cluster` — server crash/recovery plans and the
+  degradation report for cluster sweeps.
+
+The matching *degradation policies* live with the components they
+protect: the meter watchdog and safe mode in
+:class:`repro.hwmodel.capping.PowerCapController`, the model-distrust
+fallback in :class:`repro.core.server_manager.PowerOptimizedManager`,
+the solver retry/greedy fallback in :func:`repro.core.placement.pocolo_placement`,
+and crash re-placement in :func:`repro.sim.cluster.run_cluster`.
+See ``docs/FAULTS.md`` for the full story.
+"""
+
+from repro.faults.cluster import (
+    ClusterFaultPlan,
+    ClusterFaultReport,
+    Replacement,
+    ServerCrash,
+)
+from repro.faults.meter import FaultyPowerMeter
+from repro.faults.schedule import (
+    Fault,
+    FaultSchedule,
+    LoadSpike,
+    MeterDrift,
+    MeterDropout,
+    MeterStuckAt,
+    ModelStaleness,
+    TelemetryGap,
+)
+
+__all__ = [
+    "ClusterFaultPlan",
+    "ClusterFaultReport",
+    "Fault",
+    "FaultSchedule",
+    "FaultyPowerMeter",
+    "LoadSpike",
+    "MeterDrift",
+    "MeterDropout",
+    "MeterStuckAt",
+    "ModelStaleness",
+    "Replacement",
+    "ServerCrash",
+    "TelemetryGap",
+]

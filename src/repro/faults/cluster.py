@@ -1,0 +1,109 @@
+"""Cluster-level fault plans: server crash and recovery events.
+
+The cluster simulator's timeline is the evaluation's load-level sweep
+(the uniform 10-90 % levels of Section V-D), so crash events trigger at
+*level indices*: "server X dies before level index k is simulated, and
+optionally rejoins before index m".  That keeps the fault plan exactly as
+deterministic as the sweep itself.
+
+The runner (:func:`repro.sim.cluster.run_cluster`) handles a crash by
+dropping the server from the surviving set and re-placing its displaced
+best-effort app onto a surviving server; a host that ends up with several
+BE co-runners time-shares its spare slice among them (the Section V-G
+time-sharing extension).  :class:`ClusterFaultReport` carries the
+per-fault degradation metrics back to the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.faults.schedule import FaultSchedule
+
+
+@dataclass(frozen=True)
+class ServerCrash:
+    """One crash (and optional recovery) of a latency-critical server.
+
+    ``lc_name`` names the server by its LC app (as in the placement
+    machinery); the crash takes effect before load level
+    ``at_level_index`` is simulated; ``recover_at_level_index`` (if
+    given) brings the server back — empty-handed — before that level.
+    """
+
+    lc_name: str
+    at_level_index: int
+    recover_at_level_index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.at_level_index < 0:
+            raise ConfigError("crash level index cannot be negative")
+        if (
+            self.recover_at_level_index is not None
+            and self.recover_at_level_index <= self.at_level_index
+        ):
+            raise ConfigError("recovery must come after the crash")
+
+
+@dataclass(frozen=True)
+class ClusterFaultPlan:
+    """Everything the cluster runner injects during a sweep.
+
+    ``crashes`` are the server-level events; ``cell_faults`` (optional)
+    is a :class:`FaultSchedule` applied inside *every* surviving cell's
+    colocation run (meter faults, telemetry gaps, load spikes).
+    """
+
+    crashes: Tuple[ServerCrash, ...] = ()
+    cell_faults: Optional[FaultSchedule] = None
+
+    def __post_init__(self) -> None:
+        names = [c.lc_name for c in self.crashes]
+        if len(names) != len(set(names)):
+            raise ConfigError("at most one crash event per server")
+
+    def crashes_at(self, level_index: int) -> Tuple[ServerCrash, ...]:
+        """Crash events that fire before this level index."""
+        return tuple(
+            c for c in self.crashes if c.at_level_index == level_index
+        )
+
+    def recoveries_at(self, level_index: int) -> Tuple[ServerCrash, ...]:
+        """Recovery events that fire before this level index."""
+        return tuple(
+            c for c in self.crashes
+            if c.recover_at_level_index == level_index
+        )
+
+
+@dataclass
+class Replacement:
+    """One displaced-BE re-placement decision made after a crash."""
+
+    be_name: str
+    from_lc: str
+    to_lc: Optional[str]  # None = parked (no surviving server could host)
+    at_level_index: int
+
+
+@dataclass
+class ClusterFaultReport:
+    """Degradation metrics of one faulted cluster run."""
+
+    crashes_handled: int = 0
+    recoveries_handled: int = 0
+    replacements: List[Replacement] = field(default_factory=list)
+    solver_fallbacks: int = 0
+    degraded_cells: int = 0  # (server, level) cells lost to crashes
+
+    @property
+    def displaced_placed(self) -> int:
+        """Displaced BE apps that found a surviving host."""
+        return sum(1 for r in self.replacements if r.to_lc is not None)
+
+    @property
+    def displaced_parked(self) -> int:
+        """Displaced BE apps no surviving server could take."""
+        return sum(1 for r in self.replacements if r.to_lc is None)

@@ -1,0 +1,230 @@
+"""Seeded, time-triggered fault schedules for the control stack.
+
+The paper's controllers claim resilience to "load uncertainties and model
+inaccuracies" (Section IV-C); a production power-capped cluster also has
+to survive *component* faults — meters that stick or drift, telemetry
+pipelines that drop samples, fitted models that go stale, and servers
+that crash outright.  This module is the fault *model*: small, composable
+fault descriptions bound to time windows, collected in a
+:class:`FaultSchedule` that the simulators consult each step.
+
+Every fault is a frozen dataclass — a schedule is pure data, so two runs
+with the same schedule and seed are bit-identical.  :meth:`FaultSchedule.random`
+draws a reproducible random mix for soak-style testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple, Type, TypeVar
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base fault: active from ``start_s`` for ``duration_s`` seconds.
+
+    ``duration_s = None`` means the fault never clears (a hard failure).
+    """
+
+    start_s: float = 0.0
+    duration_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ConfigError("fault start time cannot be negative")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise ConfigError("fault duration must be positive (or None)")
+
+    @property
+    def end_s(self) -> float:
+        """Exclusive end of the active window (inf for permanent faults)."""
+        if self.duration_s is None:
+            return float("inf")
+        return self.start_s + self.duration_s
+
+    def active(self, time_s: float) -> bool:
+        """True while the fault is in force at ``time_s``."""
+        return self.start_s <= time_s < self.end_s
+
+    def ended(self, time_s: float) -> bool:
+        """True once the fault's window has passed."""
+        return time_s >= self.end_s
+
+
+# ----------------------------------------------------------------------
+# Meter faults (consumed by repro.faults.meter.FaultyPowerMeter)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MeterStuckAt(Fault):
+    """The meter reports one constant value for the whole window.
+
+    ``value_w = None`` freezes at the last reading taken before the fault
+    struck (the classic stuck ADC); a float pins the output explicitly.
+    """
+
+    value_w: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.value_w is not None and self.value_w < 0:
+            raise ConfigError("a meter cannot stick at negative watts")
+
+
+@dataclass(frozen=True)
+class MeterDrift(Fault):
+    """Additive bias ramping at ``rate_w_per_s`` from ``bias_w`` onward.
+
+    Models a decalibrating sensor; a negative rate under-reports, which
+    is the dangerous direction for a power cap.
+    """
+
+    bias_w: float = 0.0
+    rate_w_per_s: float = 0.5
+
+    def bias_at(self, time_s: float) -> float:
+        """The additive error at ``time_s`` (0 outside the window)."""
+        if not self.active(time_s):
+            return 0.0
+        return self.bias_w + self.rate_w_per_s * (time_s - self.start_s)
+
+
+@dataclass(frozen=True)
+class MeterDropout(Fault):
+    """The meter stops producing: callers see the last reading, stale."""
+
+
+# ----------------------------------------------------------------------
+# Control-plane faults (consumed by repro.sim.colocation.ColocationSim)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TelemetryGap(Fault):
+    """Load/latency telemetry stops updating; the manager acts on stale
+    measurements for the duration of the gap (Section IV-A's collection
+    pipeline failing, not the app)."""
+
+
+@dataclass(frozen=True)
+class LoadSpike(Fault):
+    """Transient multiplicative surge on the primary's offered load."""
+
+    factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.factor <= 0:
+            raise ConfigError("load spike factor must be positive")
+
+
+@dataclass(frozen=True)
+class ModelStaleness(Fault):
+    """Swap a mis-fitted utility model into the manager mid-run.
+
+    ``model`` is any :class:`~repro.core.utility.IndirectUtilityModel`;
+    the original model is restored when the window closes (a refit
+    landing).
+    """
+
+    model: object = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.model is None:
+            raise ConfigError("model staleness fault needs a stale model")
+
+
+F = TypeVar("F", bound=Fault)
+
+
+class FaultSchedule:
+    """An ordered, queryable collection of time-triggered faults.
+
+    The schedule is consulted with the simulation clock; it never keeps
+    per-run state, so one schedule can drive many runs deterministically.
+    """
+
+    def __init__(self, faults: Sequence[Fault] = ()) -> None:
+        for f in faults:
+            if not isinstance(f, Fault):
+                raise ConfigError(f"not a fault: {f!r}")
+        self.faults: Tuple[Fault, ...] = tuple(
+            sorted(faults, key=lambda f: (f.start_s, f.end_s))
+        )
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self) -> Iterator[Fault]:
+        return iter(self.faults)
+
+    def active(self, time_s: float, kind: Type[F] = Fault) -> Tuple[F, ...]:
+        """All faults of ``kind`` in force at ``time_s``, in start order."""
+        return tuple(
+            f for f in self.faults if isinstance(f, kind) and f.active(time_s)
+        )
+
+    def first_active(self, time_s: float, kind: Type[F]) -> Optional[F]:
+        """The earliest-starting active fault of ``kind``, if any."""
+        for f in self.faults:
+            if isinstance(f, kind) and f.active(time_s):
+                return f
+        return None
+
+    def any_of(self, kind: Type[Fault]) -> bool:
+        """True when the schedule contains at least one fault of ``kind``."""
+        return any(isinstance(f, kind) for f in self.faults)
+
+    def describe(self) -> List[str]:
+        """One human-readable line per fault, in trigger order."""
+        lines = []
+        for f in self.faults:
+            window = (
+                f"t={f.start_s:g}s.." + ("end" if f.duration_s is None
+                                         else f"{f.end_s:g}s")
+            )
+            lines.append(f"{type(f).__name__} [{window}]")
+        return lines
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        horizon_s: float,
+        n_faults: int = 3,
+        mean_duration_s: float = 10.0,
+    ) -> "FaultSchedule":
+        """A reproducible random mix of meter/telemetry/load faults.
+
+        Draws fault kinds, start times and durations from a seeded
+        generator — the soak-testing entry point.  Model-staleness and
+        crash faults need external objects, so they are never drawn here.
+        """
+        if horizon_s <= 0:
+            raise ConfigError("fault horizon must be positive")
+        if n_faults < 0:
+            raise ConfigError("fault count cannot be negative")
+        rng = np.random.default_rng(seed)
+        faults: List[Fault] = []
+        for _ in range(n_faults):
+            start = float(rng.uniform(0.0, horizon_s * 0.8))
+            duration = float(min(
+                max(1.0, rng.exponential(mean_duration_s)),
+                horizon_s - start,
+            ))
+            kind = int(rng.integers(4))
+            if kind == 0:
+                faults.append(MeterStuckAt(start, duration))
+            elif kind == 1:
+                rate = float(rng.uniform(-2.0, 2.0))
+                faults.append(MeterDrift(start, duration, rate_w_per_s=rate))
+            elif kind == 2:
+                faults.append(TelemetryGap(start, duration))
+            else:
+                factor = float(rng.uniform(1.2, 2.0))
+                faults.append(LoadSpike(start, duration, factor=factor))
+        return cls(faults)

@@ -28,8 +28,8 @@ only occasional upward probes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.hwmodel.meter import PowerMeter
@@ -42,6 +42,8 @@ class CapStats:
 
     ``throttle_events`` counts loop iterations that took a *downward*
     action — the paper's "frequent power capping" signal (Section V-D).
+    The ``safe_mode_*``/``watchdog_trips`` counters describe graceful
+    degradation under meter faults (see ``docs/FAULTS.md``).
     """
 
     samples: int = 0
@@ -49,6 +51,9 @@ class CapStats:
     throttle_events: int = 0
     restore_events: int = 0
     duty_limited_samples: int = 0
+    safe_mode_steps: int = 0
+    safe_mode_entries: int = 0
+    watchdog_trips: int = 0
 
     @property
     def over_cap_fraction(self) -> float:
@@ -59,6 +64,11 @@ class CapStats:
     def throttle_fraction(self) -> float:
         """Fraction of samples on which the loop had to throttle."""
         return self.throttle_events / self.samples if self.samples else 0.0
+
+    @property
+    def safe_mode_fraction(self) -> float:
+        """Fraction of samples spent in watchdog safe mode."""
+        return self.safe_mode_steps / self.samples if self.samples else 0.0
 
 
 class PowerCapController:
@@ -80,6 +90,27 @@ class PowerCapController:
     restore_margin_w:
         How far below the cap the filtered draw must be before the loop
         starts giving resources back — the hysteresis band.
+    watchdog:
+        Enable the meter watchdog.  The loop's actuation is only as good
+        as its sensor; the watchdog cross-checks every raw reading for
+        physical plausibility (see ``max_plausible_w``) and — on noisy
+        meters — for staleness (a real meter essentially never repeats a
+        float exactly; ``stale_after`` identical raw readings in a row
+        mean the sensor is stuck or the pipeline serves cached values).
+        Either trip enters *safe mode*: the controller stops trusting
+        the meter and conservatively pins every best-effort tenant to
+        its floor (minimum frequency and ``min_duty_cycle``) until
+        ``recovery_samples`` consecutive healthy readings arrive.
+    stale_after:
+        Identical consecutive raw readings tolerated before the stale
+        trip (only armed when the meter reports a non-zero noise level).
+    max_plausible_w:
+        Physical upper bound on a sane reading; ``None`` defaults to
+        3x the provisioned capacity.  Negative readings are impossible
+        by construction (meters clip at zero), so the bound is one-sided.
+    recovery_samples:
+        Consecutive healthy (changing, in-bounds) readings required to
+        leave safe mode.
     """
 
     def __init__(
@@ -89,6 +120,10 @@ class PowerCapController:
         duty_step: float = 0.05,
         min_duty_cycle: float = 0.05,
         restore_margin_w: float = 4.0,
+        watchdog: bool = True,
+        stale_after: int = 3,
+        max_plausible_w: Optional[float] = None,
+        recovery_samples: int = 3,
     ) -> None:
         if not 0 < duty_step <= 1:
             raise ConfigError("duty step must lie in (0, 1]")
@@ -96,15 +131,87 @@ class PowerCapController:
             raise ConfigError("minimum duty cycle must lie in [0, 1)")
         if restore_margin_w < 0:
             raise ConfigError("restore margin cannot be negative")
+        if stale_after < 1:
+            raise ConfigError("stale_after must be at least 1 sample")
+        if recovery_samples < 1:
+            raise ConfigError("recovery_samples must be at least 1")
+        if max_plausible_w is not None and max_plausible_w <= 0:
+            raise ConfigError("plausibility bound must be positive")
         self.server = server
         self.meter = meter
         self.duty_step = duty_step
         self.min_duty_cycle = min_duty_cycle
         self.restore_margin_w = restore_margin_w
+        self.watchdog = watchdog
+        self.stale_after = stale_after
+        self.max_plausible_w = (
+            max_plausible_w if max_plausible_w is not None
+            else 3.0 * server.provisioned_power_w
+        )
+        self.recovery_samples = recovery_samples
         self.stats = CapStats()
         self._samples_since_restore = 10**9
         self._restore_backoff = 0
         self._restore_cooldown = 0
+        self.safe_mode = False
+        self._prev_raw_w: Optional[float] = None
+        self._repeat_streak = 0
+        self._healthy_streak = 0
+
+    # ------------------------------------------------------------------
+    # Meter watchdog
+    # ------------------------------------------------------------------
+    def _reading_healthy(self, raw_w: float) -> bool:
+        """Classify one raw reading and update the staleness streaks."""
+        stale_armed = self.meter.noise_sigma_w > 0
+        if stale_armed and self._prev_raw_w is not None and raw_w == self._prev_raw_w:
+            self._repeat_streak += 1
+        else:
+            self._repeat_streak = 0
+        self._prev_raw_w = raw_w
+        if raw_w > self.max_plausible_w:
+            return False
+        if stale_armed and self._repeat_streak >= self.stale_after:
+            return False
+        return True
+
+    def _watchdog_step(self, raw_w: float, secondaries: list) -> bool:
+        """Run the watchdog; returns True when the loop must stand down.
+
+        In safe mode the controller ignores the meter entirely for
+        throttle/restore decisions and holds the BE tenants at their
+        floor — the one state guaranteed to honor the cap whenever the
+        primary alone fits under it (true by provisioning).
+        """
+        healthy = self._reading_healthy(raw_w)
+        if not self.safe_mode:
+            if not healthy:
+                self.safe_mode = True
+                self._healthy_streak = 0
+                self.stats.watchdog_trips += 1
+                self.stats.safe_mode_entries += 1
+            else:
+                return False
+        else:
+            self._healthy_streak = self._healthy_streak + 1 if healthy else 0
+            if self._healthy_streak >= self.recovery_samples:
+                # Sensor recovered: resume closed-loop control.  The BE
+                # tenants climb back through the normal restore path.
+                self.safe_mode = False
+                return False
+        self.stats.safe_mode_steps += 1
+        for name in secondaries:
+            self._floor(name)
+        return True
+
+    def _floor(self, be: str) -> None:
+        """Pin one BE tenant to its minimum-power operating point."""
+        alloc = self.server.allocation_of(be)
+        ladder = self.server.spec.ladder
+        floored = alloc.with_freq(ladder.min_ghz).with_duty_cycle(self.min_duty_cycle)
+        if floored != alloc:
+            self.server.apply_allocation(be, floored)
+            self.stats.throttle_events += 1
 
     def step(self, time_s: float) -> None:
         """One loop iteration: sample the meter, act on the BE tenant."""
@@ -121,6 +228,8 @@ class PowerCapController:
             name for name in self.server.secondary_tenants()
             if not self.server.allocation_of(name).is_empty
         ]
+        if self.watchdog and self._watchdog_step(reading.watts, secondaries):
+            return
         if not secondaries:
             return
         if any(

@@ -16,7 +16,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 
 #: The paper's power-sampling interval (Section IV-C).
 DEFAULT_SAMPLE_INTERVAL_S = 0.1
@@ -77,15 +77,34 @@ class PowerMeter:
         """The most recent sample, or None before the first one."""
         return self._last
 
+    @property
+    def noise_sigma_w(self) -> float:
+        """Configured measurement-noise level (0 = exact meter).
+
+        Watchdogs use this to decide whether repeated identical readings
+        are suspicious: a noisy meter essentially never repeats a float
+        exactly, an exact meter repeats at every steady state.
+        """
+        return self._noise_sigma_w
+
+    def _observe(self, time_s: float) -> float:
+        """One raw (pre-filter) measurement; the fault-injection hook.
+
+        Subclasses (e.g. :class:`repro.faults.meter.FaultyPowerMeter`)
+        override this to corrupt the raw value while reusing the EWMA
+        and bookkeeping of :meth:`sample`.
+        """
+        true_w = float(self._source())
+        noise = self._rng.normal(0.0, self._noise_sigma_w) if self._noise_sigma_w else 0.0
+        return max(0.0, true_w + noise)
+
     def sample(self, time_s: float) -> PowerReading:
         """Take one measurement at simulation time ``time_s``.
 
         Readings are clipped at zero — a real meter never reports
         negative watts even when noise would push it there.
         """
-        true_w = float(self._source())
-        noise = self._rng.normal(0.0, self._noise_sigma_w) if self._noise_sigma_w else 0.0
-        raw = max(0.0, true_w + noise)
+        raw = self._observe(time_s)
         if self._filtered is None:
             self._filtered = raw
         else:
@@ -126,7 +145,9 @@ class EnergyCounter:
         if self._prev is not None:
             dt = reading.time_s - self._prev.time_s
             if dt < 0:
-                raise ConfigError("energy counter fed readings out of order")
+                # Out-of-order feeding is a runtime simulation-state
+                # fault, not a configuration mistake.
+                raise SimulationError("energy counter fed readings out of order")
             self._joules += 0.5 * (self._prev.watts + reading.watts) * dt
         self._prev = reading
         return self._joules

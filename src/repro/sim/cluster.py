@@ -15,14 +15,20 @@ is entirely through the placement decision — as in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.apps.best_effort import BestEffortApp
 from repro.apps.latency_critical import LatencyCriticalApp
+from repro.core.placement import assign_with_fallback
 from repro.core.server_manager import ServerManagerBase
 from repro.errors import ConfigError
+from repro.faults.cluster import (
+    ClusterFaultPlan,
+    ClusterFaultReport,
+    Replacement,
+)
 from repro.hwmodel.server import Server
 from repro.hwmodel.spec import ServerSpec
 from repro.sim.colocation import (
@@ -63,9 +69,15 @@ class LevelOutcome:
 
 @dataclass
 class ClusterRunResult:
-    """All (server, level) outcomes of one policy run, with aggregates."""
+    """All (server, level) outcomes of one policy run, with aggregates.
+
+    ``fault_report`` is populated only by faulted runs (crash/recovery
+    handling, re-placements, degraded cells); it stays ``None`` for
+    fault-free sweeps.
+    """
 
     outcomes: List[LevelOutcome] = field(default_factory=list)
+    fault_report: Optional[ClusterFaultReport] = None
 
     def servers(self) -> List[str]:
         """LC server names present, in first-seen order."""
@@ -124,44 +136,181 @@ class ClusterRunResult:
         return mapping
 
 
+def _run_cell(
+    plan: ServerPlan,
+    spec: ServerSpec,
+    level: float,
+    duration_s: float,
+    config: SimConfig,
+    be_app: Optional[BestEffortApp],
+    faults=None,
+) -> LevelOutcome:
+    """One fresh (server, level) steady-state colocation cell."""
+    server = build_colocated_server(
+        spec=spec,
+        lc_app=plan.lc_app,
+        provisioned_power_w=plan.provisioned_power_w,
+        be_app=be_app,
+        name=f"{plan.lc_app.name}-server",
+    )
+    manager = plan.manager_factory(server)
+    sim = ColocationSim(
+        server=server,
+        lc_app=plan.lc_app,
+        trace=ConstantTrace(level),
+        manager=manager,
+        be_app=be_app,
+        config=config,
+        faults=faults,
+    )
+    outcome = sim.run(duration_s)
+    return LevelOutcome(
+        lc_name=plan.lc_app.name,
+        be_name=be_app.name if be_app else None,
+        level=level,
+        result=outcome,
+    )
+
+
 def run_cluster(
     plans: Sequence[ServerPlan],
     spec: ServerSpec,
     levels: Sequence[float] = UNIFORM_EVAL_LEVELS,
     duration_s: float = 60.0,
     config: SimConfig = SimConfig(),
+    fault_plan: Optional[ClusterFaultPlan] = None,
 ) -> ClusterRunResult:
-    """Run every server plan at every load level, fresh state per cell."""
+    """Run every server plan at every load level, fresh state per cell.
+
+    With a ``fault_plan`` the sweep becomes the cluster's timeline:
+    levels run in order, crash events drop servers between levels, their
+    displaced best-effort apps are re-placed onto survivors, and the
+    returned result carries a :class:`ClusterFaultReport`.
+    """
     if not plans:
         raise ConfigError("cluster needs at least one server plan")
     if not levels:
         raise ConfigError("need at least one load level")
+    if fault_plan is not None:
+        return _run_cluster_faulted(
+            plans, spec, levels, duration_s, config, fault_plan
+        )
     result = ClusterRunResult()
     for plan in plans:
         for level in levels:
-            server = build_colocated_server(
-                spec=spec,
-                lc_app=plan.lc_app,
-                provisioned_power_w=plan.provisioned_power_w,
-                be_app=plan.be_app,
-                name=f"{plan.lc_app.name}-server",
-            )
-            manager = plan.manager_factory(server)
-            sim = ColocationSim(
-                server=server,
-                lc_app=plan.lc_app,
-                trace=ConstantTrace(level),
-                manager=manager,
-                be_app=plan.be_app,
-                config=config,
-            )
-            outcome = sim.run(duration_s)
             result.outcomes.append(
-                LevelOutcome(
-                    lc_name=plan.lc_app.name,
-                    be_name=plan.be_app.name if plan.be_app else None,
-                    level=level,
-                    result=outcome,
-                )
+                _run_cell(plan, spec, level, duration_s, config, plan.be_app)
             )
+    return result
+
+
+def _replace_displaced(
+    displaced: List[Tuple[BestEffortApp, str]],
+    hosting: Dict[str, List[BestEffortApp]],
+    plan_by_name: Dict[str, ServerPlan],
+    spec: ServerSpec,
+    level_index: int,
+    report: ClusterFaultReport,
+) -> None:
+    """Re-place displaced BE apps onto surviving servers.
+
+    The score of (displaced app, survivor) is the survivor's provisioned
+    active-power headroom divided by how many BE co-runners it already
+    hosts — more budget and fewer co-runners make a better refuge.  The
+    matching is solved with the placement stack's retry/greedy-fallback
+    wrapper, so a solver failure degrades the *placement quality*, never
+    the run.  Unmatched apps (more displaced than survivors — a 1:1
+    matching places at most one per survivor per event) are parked.
+    """
+    survivors = sorted(name for name, bes in hosting.items())
+    if not survivors:
+        for be_app, from_lc in displaced:
+            report.replacements.append(Replacement(
+                be_name=be_app.name, from_lc=from_lc, to_lc=None,
+                at_level_index=level_index,
+            ))
+        return
+    scores = np.zeros((len(displaced), len(survivors)))
+    for j, name in enumerate(survivors):
+        budget = max(
+            1e-6,
+            plan_by_name[name].provisioned_power_w - spec.idle_power_w,
+        )
+        scores[:, j] = budget / (1.0 + len(hosting[name]))
+    assignment, _total, _method, fallbacks = assign_with_fallback(scores)
+    report.solver_fallbacks += fallbacks
+    for i, (be_app, from_lc) in enumerate(displaced):
+        j = assignment[i]
+        to_lc = survivors[j] if j >= 0 else None
+        if to_lc is not None:
+            hosting[to_lc].append(be_app)
+        report.replacements.append(Replacement(
+            be_name=be_app.name, from_lc=from_lc, to_lc=to_lc,
+            at_level_index=level_index,
+        ))
+
+
+def _run_cluster_faulted(
+    plans: Sequence[ServerPlan],
+    spec: ServerSpec,
+    levels: Sequence[float],
+    duration_s: float,
+    config: SimConfig,
+    fault_plan: ClusterFaultPlan,
+) -> ClusterRunResult:
+    """The level-major sweep with crash/recovery handling.
+
+    Levels are the timeline; each surviving server runs its level cell.
+    A host with several BE co-runners (after re-placement) time-shares
+    its spare slice: each co-runner gets an equal share of the cell's
+    duration on a fresh server (the Section V-G time-sharing extension),
+    so their reported throughputs are per-share averages.
+    """
+    known = {plan.lc_app.name for plan in plans}
+    for crash in fault_plan.crashes:
+        if crash.lc_name not in known:
+            raise ConfigError(f"crash names unknown server {crash.lc_name!r}")
+    report = ClusterFaultReport()
+    result = ClusterRunResult(fault_report=report)
+    plan_by_name = {plan.lc_app.name: plan for plan in plans}
+    hosting: Dict[str, List[BestEffortApp]] = {
+        plan.lc_app.name: ([plan.be_app] if plan.be_app is not None else [])
+        for plan in plans
+    }
+    for level_index, level in enumerate(levels):
+        for event in fault_plan.recoveries_at(level_index):
+            if event.lc_name not in hosting:
+                # Rejoin empty-handed; the displaced BE stays where the
+                # re-placement put it (migration is not free, Section I).
+                hosting[event.lc_name] = []
+                report.recoveries_handled += 1
+        displaced: List[Tuple[BestEffortApp, str]] = []
+        for event in fault_plan.crashes_at(level_index):
+            if event.lc_name in hosting:
+                displaced.extend(
+                    (be, event.lc_name) for be in hosting.pop(event.lc_name)
+                )
+                report.crashes_handled += 1
+        if displaced:
+            _replace_displaced(
+                displaced, hosting, plan_by_name, spec, level_index, report
+            )
+        for plan in plans:
+            name = plan.lc_app.name
+            if name not in hosting:
+                report.degraded_cells += 1
+                continue
+            co_runners = hosting[name]
+            if not co_runners:
+                result.outcomes.append(_run_cell(
+                    plan, spec, level, duration_s, config, None,
+                    faults=fault_plan.cell_faults,
+                ))
+                continue
+            share_s = duration_s / len(co_runners)
+            for be_app in co_runners:
+                result.outcomes.append(_run_cell(
+                    plan, spec, level, share_s, config, be_app,
+                    faults=fault_plan.cell_faults,
+                ))
     return result

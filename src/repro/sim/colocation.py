@@ -31,6 +31,13 @@ from repro.apps.best_effort import BestEffortApp
 from repro.apps.latency_critical import LatencyCriticalApp
 from repro.core.server_manager import ManagerStats, ServerManagerBase
 from repro.errors import ConfigError, SimulationError
+from repro.faults.meter import FaultyPowerMeter
+from repro.faults.schedule import (
+    FaultSchedule,
+    LoadSpike,
+    ModelStaleness,
+    TelemetryGap,
+)
 from repro.hwmodel.capping import CapStats, PowerCapController
 from repro.hwmodel.meter import EnergyCounter, PowerMeter
 from repro.hwmodel.server import PRIMARY, SECONDARY, Server
@@ -90,6 +97,7 @@ class ColocationSim:
         manager: ServerManagerBase,
         be_app: Optional[BestEffortApp] = None,
         config: SimConfig = SimConfig(),
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         primary = server.primary_tenant()
         if primary is None:
@@ -104,14 +112,39 @@ class ColocationSim:
         self.trace = trace
         self.manager = manager
         self.config = config
+        self.faults = faults
         self._rng = np.random.default_rng(config.seed)
-        self.meter = PowerMeter(
-            source=server.power_w,
-            rng=self._rng,
-            noise_sigma_w=config.meter_noise_w,
-            interval_s=config.power_interval_s,
-        )
+        if faults is not None:
+            self.meter: PowerMeter = FaultyPowerMeter(
+                source=server.power_w,
+                schedule=faults,
+                rng=self._rng,
+                noise_sigma_w=config.meter_noise_w,
+                interval_s=config.power_interval_s,
+            )
+        else:
+            self.meter = PowerMeter(
+                source=server.power_w,
+                rng=self._rng,
+                noise_sigma_w=config.meter_noise_w,
+                interval_s=config.power_interval_s,
+            )
         self.capper = PowerCapController(server=server, meter=self.meter)
+        self._true_model = getattr(manager, "model", None)
+        self._model_swapped = False
+
+    def _apply_model_staleness(self, time_s: float) -> None:
+        """Swap a stale model in (and the true one back out) on schedule."""
+        if self._true_model is None:
+            return
+        fault = self.faults.first_active(time_s, ModelStaleness)
+        if fault is not None and not self._model_swapped:
+            self.manager.model = fault.model
+            self._model_swapped = True
+        elif fault is None and self._model_swapped:
+            # The window closed: a fresh fit landed, restore the truth.
+            self.manager.model = self._true_model
+            self._model_swapped = False
 
     def run(self, duration_s: float) -> ColocationResult:
         """Simulate ``duration_s`` seconds (plus warmup) and aggregate.
@@ -132,21 +165,38 @@ class ColocationSim:
         n_ticks = int(round(duration_s / cfg.control_interval_s))
         subticks = int(round(cfg.control_interval_s / cfg.power_interval_s))
         violations = 0
+        stale_load: Optional[float] = None
+        stale_slack: Optional[float] = None
 
         for tick in range(-n_warmup, n_ticks):
             t = tick * cfg.control_interval_s
             in_window = tick >= 0
             load_frac = self.trace.load_fraction(max(0.0, t))
+            if self.faults is not None:
+                # Transient load spikes raise the *true* offered load.
+                for spike in self.faults.active(t, LoadSpike):
+                    load_frac = min(1.0, load_frac * spike.factor)
+                self._apply_model_staleness(t)
             true_load = load_frac * self.lc_app.peak_load
 
             # Telemetry the manager sees: noisy load and latency slack at
-            # the allocation currently in force.
+            # the allocation currently in force.  During a telemetry gap
+            # the collection pipeline serves the last values it has.
             alloc_before = self.server.allocation_of(primary)
-            measured_load = measured(true_load, self._rng, cfg.load_noise)
-            p99 = self.lc_app.measured_p99_s(
-                true_load, alloc_before, self._rng, cfg.latency_noise
+            in_gap = (
+                self.faults is not None
+                and stale_load is not None
+                and self.faults.first_active(t, TelemetryGap) is not None
             )
-            measured_slack = 1.0 - p99 / self.lc_app.latency.slo.p99_s
+            if in_gap:
+                measured_load, measured_slack = stale_load, stale_slack
+            else:
+                measured_load = measured(true_load, self._rng, cfg.load_noise)
+                p99 = self.lc_app.measured_p99_s(
+                    true_load, alloc_before, self._rng, cfg.latency_noise
+                )
+                measured_slack = 1.0 - p99 / self.lc_app.latency.slo.p99_s
+                stale_load, stale_slack = measured_load, measured_slack
 
             self.manager.control_step(measured_load, measured_slack)
 
@@ -164,6 +214,7 @@ class ColocationSim:
                 telemetry.record("power_w", t, power)
                 telemetry.record("lc_load_fraction", t, load_frac)
                 telemetry.record("lc_slack", t, true_slack)
+                telemetry.record("safe_mode", t, 1.0 if self.capper.safe_mode else 0.0)
                 telemetry.record("lc_cores", t, lc_alloc.cores)
                 telemetry.record("lc_ways", t, lc_alloc.ways)
                 if self.meter.last_reading is not None:

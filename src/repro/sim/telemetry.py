@@ -14,7 +14,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 
 
 @dataclass
@@ -26,9 +26,15 @@ class TimeSeries:
     values: List[float] = field(default_factory=list)
 
     def record(self, time_s: float, value: float) -> None:
-        """Append one observation; times must be non-decreasing."""
+        """Append one observation; times must be non-decreasing.
+
+        Feeding out-of-order times means the *simulation* lost track of
+        its clock — a runtime state fault, hence
+        :class:`~repro.errors.SimulationError` rather than a
+        configuration error.
+        """
         if self.times and time_s < self.times[-1]:
-            raise ConfigError(
+            raise SimulationError(
                 f"series {self.name!r} fed out-of-order time {time_s}"
             )
         self.times.append(time_s)

@@ -43,6 +43,14 @@ class TestExamples:
         assert "Admission control" in out
         assert "Stranded power" in out
 
+    def test_fault_injection(self, capsys):
+        out = run_example("fault_injection.py", capsys)
+        assert "Stuck meter" in out
+        assert "watchdog trips" in out
+        assert "model-distrust fallbacks" in out
+        assert "Degradation under faults" in out
+        assert "displaced BE" in out
+
     @pytest.mark.slow
     def test_websearch_diurnal(self, capsys):
         out = run_example("websearch_diurnal.py", capsys)

@@ -1,0 +1,169 @@
+"""Cluster crash/recovery handling and displaced-BE re-placement.
+
+The ISSUE acceptance criterion lives here: a cluster run with one server
+crash completes without raising, re-places the displaced best-effort app
+onto a survivor, and retains nonzero BE throughput.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    ClusterFaultPlan,
+    ClusterFaultReport,
+    FaultSchedule,
+    MeterStuckAt,
+    Replacement,
+    ServerCrash,
+)
+from repro.sim import SimConfig, run_cluster
+
+FAST = SimConfig(seed=0, warmup_s=2.0)
+
+
+@pytest.fixture(scope="module")
+def plans(catalog):
+    from repro.evaluation import cluster_plans, placement_for_policy
+
+    placement = placement_for_policy(catalog, "pocolo")
+    return cluster_plans(catalog, placement, "pocolo")
+
+
+class TestFaultPlanTypes:
+    def test_crash_validation(self):
+        with pytest.raises(ConfigError):
+            ServerCrash("xapian", at_level_index=-1)
+        with pytest.raises(ConfigError):
+            ServerCrash("xapian", at_level_index=2, recover_at_level_index=2)
+        with pytest.raises(ConfigError):
+            ServerCrash("xapian", at_level_index=2, recover_at_level_index=1)
+
+    def test_one_crash_per_server(self):
+        with pytest.raises(ConfigError):
+            ClusterFaultPlan(crashes=(
+                ServerCrash("xapian", at_level_index=1),
+                ServerCrash("xapian", at_level_index=2),
+            ))
+
+    def test_event_queries(self):
+        plan = ClusterFaultPlan(crashes=(
+            ServerCrash("xapian", at_level_index=1, recover_at_level_index=3),
+            ServerCrash("tpcc", at_level_index=2),
+        ))
+        assert [c.lc_name for c in plan.crashes_at(1)] == ["xapian"]
+        assert plan.crashes_at(0) == ()
+        assert [c.lc_name for c in plan.recoveries_at(3)] == ["xapian"]
+        assert plan.recoveries_at(2) == ()
+
+    def test_report_placement_counters(self):
+        report = ClusterFaultReport(replacements=[
+            Replacement("rnn", "xapian", "tpcc", 1),
+            Replacement("graph", "sphinx", None, 1),
+        ])
+        assert report.displaced_placed == 1
+        assert report.displaced_parked == 1
+
+
+class TestClusterCrash:
+    def test_crash_run_completes_and_replaces(self, plans, catalog):
+        """The acceptance criterion: crash -> re-place -> keep earning."""
+        crashed = plans[0].lc_app.name
+        fault_plan = ClusterFaultPlan(
+            crashes=(ServerCrash(crashed, at_level_index=1),)
+        )
+        levels = [0.3, 0.6]
+        run = run_cluster(plans, catalog.spec, levels=levels, duration_s=6.0,
+                          config=FAST, fault_plan=fault_plan)
+        report = run.fault_report
+        assert report is not None
+        assert report.crashes_handled == 1
+        # The displaced BE found a surviving host.
+        assert len(report.replacements) == 1
+        repl = report.replacements[0]
+        assert repl.from_lc == crashed
+        survivors = {p.lc_app.name for p in plans} - {crashed}
+        assert repl.to_lc in survivors
+        assert report.displaced_placed == 1
+        # The crashed server's remaining cells are degraded, and the
+        # cluster still earns BE throughput on the survivors.
+        assert report.degraded_cells == 1  # one remaining level
+        assert run.cluster_be_throughput() > 0.0
+        # The crashed server ran level 0 but not level 1.
+        cells = [(o.lc_name, o.level) for o in run.outcomes]
+        assert (crashed, levels[0]) in cells
+        assert (crashed, levels[1]) not in cells
+
+    def test_survivor_time_shares_its_slice(self, plans, catalog):
+        two = plans[:2]
+        crashed, survivor = two[0].lc_app.name, two[1].lc_app.name
+        fault_plan = ClusterFaultPlan(
+            crashes=(ServerCrash(crashed, at_level_index=1),)
+        )
+        levels = [0.3, 0.6]
+        run = run_cluster(two, catalog.spec, levels=levels, duration_s=6.0,
+                          config=FAST, fault_plan=fault_plan)
+        after = [o for o in run.outcomes
+                 if o.lc_name == survivor and o.level == levels[1]]
+        # Two co-runners on the survivor: its own BE plus the displaced
+        # one, each on an equal share of the cell's duration.
+        assert len(after) == 2
+        assert {o.be_name for o in after} == {two[0].be_app.name,
+                                              two[1].be_app.name}
+        assert all(o.result.duration_s == pytest.approx(3.0) for o in after)
+
+    def test_recovery_rejoins_empty_handed(self, plans, catalog):
+        two = plans[:2]
+        crashed = two[0].lc_app.name
+        fault_plan = ClusterFaultPlan(crashes=(
+            ServerCrash(crashed, at_level_index=1, recover_at_level_index=2),
+        ))
+        levels = [0.3, 0.5, 0.7]
+        run = run_cluster(two, catalog.spec, levels=levels, duration_s=6.0,
+                          config=FAST, fault_plan=fault_plan)
+        report = run.fault_report
+        assert report.crashes_handled == 1
+        assert report.recoveries_handled == 1
+        rejoined = [o for o in run.outcomes
+                    if o.lc_name == crashed and o.level == levels[2]]
+        # Back in service, but without a BE co-runner: the displaced app
+        # stays where re-placement put it (migration is not free).
+        assert len(rejoined) == 1
+        assert rejoined[0].be_name is None
+
+    def test_no_survivors_parks_the_displaced(self, plans, catalog):
+        two = plans[:2]
+        fault_plan = ClusterFaultPlan(crashes=(
+            ServerCrash(two[0].lc_app.name, at_level_index=1),
+            ServerCrash(two[1].lc_app.name, at_level_index=1),
+        ))
+        levels = [0.3, 0.6]
+        run = run_cluster(two, catalog.spec, levels=levels, duration_s=6.0,
+                          config=FAST, fault_plan=fault_plan)
+        report = run.fault_report
+        assert report.crashes_handled == 2
+        assert report.displaced_parked == 2
+        assert report.displaced_placed == 0
+        assert report.degraded_cells == 2  # both servers, one level each
+
+    def test_unknown_crash_name_rejected(self, plans, catalog):
+        fault_plan = ClusterFaultPlan(
+            crashes=(ServerCrash("no-such-server", at_level_index=0),)
+        )
+        with pytest.raises(ConfigError):
+            run_cluster(plans[:2], catalog.spec, levels=[0.3],
+                        duration_s=6.0, config=FAST, fault_plan=fault_plan)
+
+    def test_cell_faults_reach_every_cell(self, plans, catalog):
+        fault_plan = ClusterFaultPlan(cell_faults=FaultSchedule([
+            MeterStuckAt(start_s=1.0, duration_s=None)
+        ]))
+        run = run_cluster(plans[:1], catalog.spec, levels=[0.5],
+                          duration_s=6.0, config=FAST, fault_plan=fault_plan)
+        outcome = run.outcomes[0]
+        assert outcome.result.cap_stats.watchdog_trips >= 1
+        assert outcome.result.cap_stats.safe_mode_steps > 0
+
+    def test_faultfree_runs_have_no_report(self, plans, catalog):
+        run = run_cluster(plans[:1], catalog.spec, levels=[0.5],
+                          duration_s=6.0, config=FAST)
+        assert run.fault_report is None

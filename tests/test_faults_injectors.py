@@ -1,0 +1,213 @@
+"""Tests for repro.faults: fault windows, schedules, and the faulty meter.
+
+Every injector is exercised in isolation with deterministic (noiseless or
+seeded) meters, so the expected corrupted readings are exact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    Fault,
+    FaultSchedule,
+    FaultyPowerMeter,
+    LoadSpike,
+    MeterDrift,
+    MeterDropout,
+    MeterStuckAt,
+    ModelStaleness,
+    TelemetryGap,
+)
+
+
+class TestFaultWindows:
+    def test_active_window_is_half_open(self):
+        f = Fault(start_s=2.0, duration_s=3.0)
+        assert not f.active(1.999)
+        assert f.active(2.0)
+        assert f.active(4.999)
+        assert not f.active(5.0)
+        assert f.ended(5.0)
+
+    def test_permanent_fault_never_ends(self):
+        f = Fault(start_s=1.0, duration_s=None)
+        assert f.end_s == float("inf")
+        assert f.active(1e9)
+        assert not f.ended(1e9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Fault(start_s=-1.0)
+        with pytest.raises(ConfigError):
+            Fault(start_s=0.0, duration_s=0.0)
+        with pytest.raises(ConfigError):
+            MeterStuckAt(value_w=-5.0)
+        with pytest.raises(ConfigError):
+            LoadSpike(factor=0.0)
+        with pytest.raises(ConfigError):
+            ModelStaleness(start_s=0.0, duration_s=1.0)  # no model given
+
+
+class TestFaultSchedule:
+    def test_sorted_and_queryable(self):
+        late = TelemetryGap(start_s=20.0, duration_s=5.0)
+        early = MeterStuckAt(start_s=5.0, duration_s=5.0)
+        sched = FaultSchedule([late, early])
+        assert sched.faults == (early, late)
+        assert len(sched) == 2
+        assert sched.any_of(MeterStuckAt)
+        assert not sched.any_of(LoadSpike)
+        assert sched.active(7.0) == (early,)
+        assert sched.active(7.0, TelemetryGap) == ()
+        assert sched.first_active(22.0, TelemetryGap) is late
+        assert sched.first_active(0.0, Fault) is None
+
+    def test_describe_in_trigger_order(self):
+        sched = FaultSchedule([
+            TelemetryGap(start_s=8.0, duration_s=2.0),
+            MeterDropout(start_s=1.0, duration_s=None),
+        ])
+        lines = sched.describe()
+        assert lines[0].startswith("MeterDropout")
+        assert "end" in lines[0]  # permanent window
+        assert lines[1].startswith("TelemetryGap")
+
+    def test_rejects_non_faults(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule(["not a fault"])
+
+    def test_random_is_seed_deterministic(self):
+        a = FaultSchedule.random(seed=3, horizon_s=60.0)
+        b = FaultSchedule.random(seed=3, horizon_s=60.0)
+        assert a.faults == b.faults
+        c = FaultSchedule.random(seed=4, horizon_s=60.0)
+        assert a.faults != c.faults
+
+    def test_random_respects_the_horizon(self):
+        sched = FaultSchedule.random(seed=11, horizon_s=30.0, n_faults=8)
+        assert len(sched) == 8
+        for f in sched:
+            assert f.start_s >= 0.0
+            assert f.end_s <= 30.0
+
+    def test_random_validation(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule.random(seed=0, horizon_s=0.0)
+        with pytest.raises(ConfigError):
+            FaultSchedule.random(seed=0, horizon_s=10.0, n_faults=-1)
+
+
+def noiseless_meter(source, schedule):
+    return FaultyPowerMeter(
+        source=source, schedule=schedule,
+        rng=np.random.default_rng(0), noise_sigma_w=0.0, ewma_alpha=1.0,
+    )
+
+
+class TestFaultyMeterStuckAt:
+    def test_freezes_at_last_prefault_reading(self):
+        clock = {"v": 100.0}
+        sched = FaultSchedule([MeterStuckAt(start_s=0.5, duration_s=0.5)])
+        meter = noiseless_meter(lambda: clock["v"], sched)
+        meter.sample(0.0)
+        clock["v"] = 110.0
+        before = meter.sample(0.4).watts
+        assert before == 110.0
+        clock["v"] = 130.0
+        assert meter.sample(0.5).watts == 110.0  # frozen at the last reading
+        clock["v"] = 150.0
+        assert meter.sample(0.9).watts == 110.0
+        assert meter.sample(1.0).watts == 150.0  # window closed: live again
+
+    def test_pinned_value(self):
+        sched = FaultSchedule([MeterStuckAt(start_s=0.0, duration_s=1.0, value_w=42.0)])
+        meter = noiseless_meter(lambda: 100.0, sched)
+        assert meter.sample(0.0).watts == 42.0
+        assert meter.sample(0.5).watts == 42.0
+        assert meter.sample(1.0).watts == 100.0
+
+    def test_reset_clears_held_values(self):
+        sched = FaultSchedule([MeterStuckAt(start_s=0.0, duration_s=None)])
+        clock = {"v": 80.0}
+        meter = noiseless_meter(lambda: clock["v"], sched)
+        assert meter.sample(0.0).watts == 80.0
+        meter.reset()
+        clock["v"] = 90.0
+        # A fresh episode freezes at the new first observation.
+        assert meter.sample(0.0).watts == 90.0
+
+
+class TestFaultyMeterDrift:
+    def test_bias_ramp(self):
+        drift = MeterDrift(start_s=1.0, duration_s=2.0, bias_w=5.0, rate_w_per_s=2.0)
+        assert drift.bias_at(0.5) == 0.0
+        assert drift.bias_at(1.0) == 5.0
+        assert drift.bias_at(2.0) == 7.0
+        assert drift.bias_at(3.0) == 0.0  # half-open window
+
+    def test_applied_to_readings(self):
+        sched = FaultSchedule([
+            MeterDrift(start_s=1.0, duration_s=2.0, bias_w=5.0, rate_w_per_s=2.0)
+        ])
+        meter = noiseless_meter(lambda: 100.0, sched)
+        assert meter.sample(0.0).watts == 100.0
+        assert meter.sample(1.0).watts == 105.0
+        assert meter.sample(2.0).watts == 107.0
+        assert meter.sample(3.0).watts == 100.0
+
+    def test_negative_drift_clipped_at_zero(self):
+        sched = FaultSchedule([
+            MeterDrift(start_s=0.0, duration_s=None, bias_w=-50.0, rate_w_per_s=0.0)
+        ])
+        meter = noiseless_meter(lambda: 1.0, sched)
+        assert meter.sample(0.0).watts == 0.0
+
+
+class TestFaultyMeterDropout:
+    def test_reserves_last_reading_with_advancing_time(self):
+        clock = {"v": 100.0}
+        sched = FaultSchedule([MeterDropout(start_s=0.5, duration_s=1.0)])
+        meter = noiseless_meter(lambda: clock["v"], sched)
+        live = meter.sample(0.0)
+        clock["v"] = 200.0
+        stale = meter.sample(0.5)
+        assert stale.watts == live.watts
+        assert stale.filtered_watts == live.filtered_watts
+        assert stale.time_s == 0.5  # timestamp still advances
+        assert meter.sample(1.5).watts == 200.0
+
+    def test_dropout_before_any_reading_falls_through(self):
+        sched = FaultSchedule([MeterDropout(start_s=0.0, duration_s=None)])
+        meter = noiseless_meter(lambda: 77.0, sched)
+        # Nothing to re-serve yet: the first sample is a live one.
+        assert meter.sample(0.0).watts == 77.0
+
+
+class TestControlPlaneFaultsInSim:
+    def test_load_spike_raises_true_load(self, catalog):
+        from repro.core.server_manager import PowerOptimizedManager
+        from repro.sim import ColocationSim, SimConfig, build_colocated_server
+        from repro.workloads import ConstantTrace
+
+        lc = catalog.lc_apps["xapian"]
+        be = catalog.be_apps["rnn"]
+        server = build_colocated_server(
+            catalog.spec, lc, provisioned_power_w=lc.peak_server_power_w(),
+            be_app=be,
+        )
+        manager = PowerOptimizedManager(server, model=catalog.lc_fits["xapian"].model)
+        sched = FaultSchedule([
+            LoadSpike(start_s=10.0, duration_s=5.0, factor=1.5),
+            TelemetryGap(start_s=16.0, duration_s=2.0),
+        ])
+        sim = ColocationSim(
+            server=server, lc_app=lc, trace=ConstantTrace(0.4), manager=manager,
+            be_app=be, config=SimConfig(seed=0, warmup_s=2.0), faults=sched,
+        )
+        result = sim.run(duration_s=20.0)
+        series = result.telemetry.series("lc_load_fraction")
+        in_spike = [v for t, v in zip(series.times, series.values) if 10.0 <= t < 15.0]
+        outside = [v for t, v in zip(series.times, series.values) if t < 10.0]
+        assert all(v == pytest.approx(0.6) for v in in_spike)
+        assert all(v == pytest.approx(0.4) for v in outside)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 from repro.hwmodel.meter import (
     EnergyCounter,
     PowerMeter,
@@ -72,6 +72,25 @@ class TestPowerMeter:
             PowerMeter(source=lambda: 1.0, rng=rng, ewma_alpha=1.5)
         with pytest.raises(ConfigError):
             PowerMeter(source=lambda: 1.0, rng=rng, interval_s=0.0)
+        with pytest.raises(ConfigError):
+            PowerMeter(source=lambda: 1.0, rng=rng, interval_s=-0.1)
+
+    def test_ewma_alpha_boundaries(self, rng):
+        # The valid interval is (0, 1]: exactly 1 disables smoothing and
+        # must be accepted; values arbitrarily close to 0 are fine too.
+        meter = PowerMeter(source=lambda: 50.0, rng=rng, noise_sigma_w=0.0,
+                           ewma_alpha=1.0)
+        meter.sample(0.0)
+        assert meter.sample(0.1).filtered_watts == 50.0
+        PowerMeter(source=lambda: 50.0, rng=rng, ewma_alpha=1e-9)
+        with pytest.raises(ConfigError):
+            PowerMeter(source=lambda: 50.0, rng=rng, ewma_alpha=-1e-9)
+
+    def test_noise_sigma_property_reported(self, rng):
+        assert PowerMeter(source=lambda: 1.0, rng=rng,
+                          noise_sigma_w=2.5).noise_sigma_w == 2.5
+        assert PowerMeter(source=lambda: 1.0, rng=rng,
+                          noise_sigma_w=0.0).noise_sigma_w == 0.0
 
 
 class TestEnergyCounter:
@@ -95,8 +114,30 @@ class TestEnergyCounter:
     def test_out_of_order_rejected(self):
         counter = EnergyCounter()
         counter.record(PowerReading(10.0, 100.0, 100.0))
-        with pytest.raises(ConfigError):
+        # Out-of-order feeding is a simulation-state fault, not a config
+        # mistake — the error type says so.
+        with pytest.raises(SimulationError):
             counter.record(PowerReading(5.0, 100.0, 100.0))
+
+    def test_monotonic_under_irregular_gaps(self):
+        # RAPL-style counters only ever go up: with non-negative power,
+        # arbitrary (even zero-length) gaps between readings must never
+        # decrease the accumulated energy.
+        counter = EnergyCounter()
+        times = [0.0, 0.1, 0.1, 0.35, 2.0, 2.0, 17.5]
+        watts = [100.0, 0.0, 50.0, 120.0, 0.0, 0.0, 80.0]
+        previous = 0.0
+        for t, w in zip(times, watts):
+            total = counter.record(PowerReading(t, w, w))
+            assert total >= previous
+            previous = total
+        assert counter.joules > 0.0
+
+    def test_zero_gap_adds_no_energy(self):
+        counter = EnergyCounter()
+        counter.record(PowerReading(1.0, 100.0, 100.0))
+        counter.record(PowerReading(1.0, 300.0, 300.0))
+        assert counter.joules == 0.0
 
     def test_reset(self):
         counter = EnergyCounter()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 from repro.sim.telemetry import Telemetry, TimeSeries
 
 
@@ -17,7 +17,9 @@ class TestTimeSeries:
     def test_out_of_order_rejected(self):
         s = TimeSeries(name="power")
         s.record(5.0, 1.0)
-        with pytest.raises(ConfigError):
+        # A time going backwards is a simulation-state fault, not a
+        # configuration mistake.
+        with pytest.raises(SimulationError):
             s.record(4.0, 2.0)
 
     def test_equal_times_allowed(self):

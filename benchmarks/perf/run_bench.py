@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""Time serial-vs-engine scenario pairs and emit ``BENCH_engine.json``.
+
+This is the repo's perf trajectory: each entry records, for one
+scenario, the serial wall time, the engine wall time, the speedup, and
+which engine mechanism produced it (vectorization, cell deduplication,
+or process-pool workers).  Every engine run is checked against its
+serial twin before the timing is trusted — a speedup over wrong results
+is not a speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_bench.py            # full
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --quick    # CI
+    PYTHONPATH=src python benchmarks/perf/run_bench.py -o out.json
+
+The full run includes the 1000-server sweep (tens of seconds of serial
+baseline); ``--quick`` stops at 100 servers.  See ``docs/ENGINE.md``
+for how to read and when to refresh the committed file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+import numpy as np
+
+import perf_scenarios as sc
+from repro.core.placement import _build_performance_matrix_reference
+from repro.engine.vectorized import (
+    build_performance_matrix_vectorized,
+    clear_engine_caches,
+)
+from repro.evaluation.colocation_eval import evaluate_policy
+from repro.workloads.traces import UNIFORM_EVAL_LEVELS
+
+
+def _timed(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - t0
+
+
+def _flat(result):
+    return [
+        (
+            o.lc_name,
+            o.be_name,
+            o.level,
+            o.result.avg_be_throughput_norm,
+            o.result.avg_power_w,
+            o.result.energy_kwh,
+        )
+        for o in result.outcomes
+    ]
+
+
+def bench_matrix(cat, replicas: int) -> dict:
+    servers, be_models = sc.matrix_inputs(cat, replicas=replicas)
+    n = 4 * replicas
+    reference, serial_s = _timed(
+        _build_performance_matrix_reference, servers, be_models, cat.spec
+    )
+    clear_engine_caches()
+    cold, cold_s = _timed(
+        build_performance_matrix_vectorized,
+        servers, be_models, cat.spec, levels=UNIFORM_EVAL_LEVELS,
+    )
+    warm, warm_s = _timed(
+        build_performance_matrix_vectorized,
+        servers, be_models, cat.spec, levels=UNIFORM_EVAL_LEVELS,
+    )
+    assert np.array_equal(reference.values, cold.values), "vectorized != reference"
+    assert np.array_equal(reference.values, warm.values), "warm != reference"
+    return {
+        "name": f"matrix_population_{n}x{n}",
+        "description": (
+            f"Placement performance matrix, {n} BE x {n} LC x "
+            f"{len(UNIFORM_EVAL_LEVELS)} levels: loop reference vs "
+            "numpy-vectorized engine (cold = grids + memoized spares "
+            "built fresh; warm = caches populated)"
+        ),
+        "mechanism": "vectorization",
+        "serial_s": round(serial_s, 4),
+        "engine_s": round(cold_s, 4),
+        "engine_warm_s": round(warm_s, 4),
+        "speedup": round(serial_s / cold_s, 2),
+        "speedup_warm": round(serial_s / warm_s, 2),
+        "identical_results": True,
+    }
+
+
+def bench_cluster(cat, n_servers: int, serial_baseline: bool = True) -> dict:
+    plans = sc.fleet_plans(cat, n_servers)
+    n_cells = n_servers * len(sc.SWEEP_LEVELS)
+    engine, engine_s = _timed(sc.run_fleet, cat, plans, dedupe=True)
+    entry = {
+        "name": f"cluster_sweep_{n_servers}",
+        "description": (
+            f"run_cluster: {n_servers} servers (4 replicated plan "
+            f"templates) x {len(sc.SWEEP_LEVELS)} load levels = "
+            f"{n_cells} cells, {sc.SWEEP_DURATION_S:.0f}s cells; serial "
+            "loop vs engine cell deduplication"
+        ),
+        "mechanism": "cell-dedupe",
+        "engine_s": round(engine_s, 4),
+        "cells": n_cells,
+        "identical_results": None,
+    }
+    if serial_baseline:
+        serial, serial_s = _timed(sc.run_fleet, cat, plans)
+        entry["serial_s"] = round(serial_s, 4)
+        entry["speedup"] = round(serial_s / engine_s, 2)
+        entry["identical_results"] = _flat(serial) == _flat(engine)
+        assert entry["identical_results"], "dedupe != serial"
+    return entry
+
+
+def bench_pipeline(cat, workers: int) -> dict:
+    kwargs = dict(
+        placement_seeds=range(4),
+        levels=sc.SWEEP_LEVELS,
+        duration_s=sc.SWEEP_DURATION_S,
+    )
+    serial, serial_s = _timed(evaluate_policy, cat, "pom", **kwargs)
+    pooled, pooled_s = _timed(
+        evaluate_policy, cat, "pom", workers=workers, **kwargs
+    )
+    identical = [_flat(r) for r in serial.runs] == [_flat(r) for r in pooled.runs]
+    assert identical, "pooled != serial"
+    return {
+        "name": "pipeline_policy_sweep",
+        "description": (
+            "evaluate_policy('pom'): 4 seeded cluster runs; serial vs "
+            f"process pool ({workers} workers) — gains scale with "
+            "physical cores, so expect ~1x on a single-core host"
+        ),
+        "mechanism": f"process-pool({workers})",
+        "serial_s": round(serial_s, 4),
+        "engine_s": round(pooled_s, 4),
+        "speedup": round(serial_s / pooled_s, 2),
+        "identical_results": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="skip the 1000-server sweep")
+    parser.add_argument("-o", "--output", default=None,
+                        help="output path (default: <repo>/BENCH_engine.json)")
+    args = parser.parse_args(argv)
+
+    repo_root = pathlib.Path(__file__).resolve().parents[2]
+    out_path = pathlib.Path(args.output) if args.output else repo_root / "BENCH_engine.json"
+
+    cat = sc.catalog()
+    scenarios = [bench_matrix(cat, replicas=4)]
+    for n_servers in (10, 100):
+        scenarios.append(bench_cluster(cat, n_servers))
+    if not args.quick:
+        scenarios.append(bench_cluster(cat, 1000))
+    scenarios.append(bench_pipeline(cat, workers=2))
+
+    payload = {
+        "schema": "pocolo-bench-engine/1",
+        "generated": datetime.date.today().isoformat(),
+        "generated_by": "benchmarks/perf/run_bench.py"
+                        + (" --quick" if args.quick else ""),
+        "context": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "scenarios": scenarios,
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    for s in scenarios:
+        speedup = s.get("speedup")
+        print(f"{s['name']:28s} engine {s['engine_s']:8.3f}s"
+              + (f"  serial {s['serial_s']:8.3f}s  speedup {speedup:5.2f}x"
+                 if speedup is not None else ""))
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,119 @@
+"""Perf-regression benchmarks for the execution engine.
+
+Run with timing::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q
+
+or as a pure correctness smoke (what CI's perf-smoke job does)::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q --benchmark-disable
+
+Every benchmarked pair also asserts result equivalence, so a perf run
+doubles as a differential check on the scenario it times.  The numbers
+that feed the repo's perf trajectory are produced by ``run_bench.py``
+(see ``BENCH_engine.json``); these tests exist to catch *regressions*
+— in speed when timed, in correctness always.
+"""
+
+import numpy as np
+import pytest
+
+import perf_scenarios as sc
+from repro.core.placement import _build_performance_matrix_reference
+from repro.engine.vectorized import build_performance_matrix_vectorized
+
+
+@pytest.fixture(scope="module")
+def cat():
+    return sc.catalog()
+
+
+def _flat(result):
+    return [
+        (
+            o.lc_name,
+            o.be_name,
+            o.level,
+            o.result.avg_be_throughput_norm,
+            o.result.avg_power_w,
+            o.result.energy_kwh,
+        )
+        for o in result.outcomes
+    ]
+
+
+class TestMatrixPopulation:
+    def test_matrix_reference_loop(self, benchmark, cat):
+        servers, be_models = sc.matrix_inputs(cat, replicas=4)
+        matrix = benchmark(
+            _build_performance_matrix_reference, servers, be_models, cat.spec
+        )
+        assert matrix.values.shape == (16, 16)
+
+    def test_matrix_vectorized(self, benchmark, cat):
+        servers, be_models = sc.matrix_inputs(cat, replicas=4)
+        reference = _build_performance_matrix_reference(
+            servers, be_models, cat.spec
+        )
+        from repro.workloads.traces import UNIFORM_EVAL_LEVELS
+
+        matrix = benchmark(
+            build_performance_matrix_vectorized,
+            servers,
+            be_models,
+            cat.spec,
+            levels=UNIFORM_EVAL_LEVELS,
+        )
+        assert np.array_equal(matrix.values, reference.values)
+
+
+class TestClusterSweep:
+    def test_cluster_10_serial(self, benchmark, cat):
+        plans = sc.fleet_plans(cat, 10)
+        result = benchmark.pedantic(
+            sc.run_fleet, args=(cat, plans), rounds=1, iterations=1
+        )
+        assert len(result.outcomes) == 10 * len(sc.SWEEP_LEVELS)
+
+    def test_cluster_10_engine(self, benchmark, cat):
+        plans = sc.fleet_plans(cat, 10)
+        serial = sc.run_fleet(cat, plans)
+        result = benchmark.pedantic(
+            sc.run_fleet, args=(cat, plans), kwargs={"dedupe": True},
+            rounds=1, iterations=1,
+        )
+        assert _flat(result) == _flat(serial)
+
+    def test_cluster_100_engine(self, benchmark, cat):
+        plans = sc.fleet_plans(cat, 100)
+        result = benchmark.pedantic(
+            sc.run_fleet, args=(cat, plans), kwargs={"dedupe": True},
+            rounds=1, iterations=1,
+        )
+        assert len(result.outcomes) == 100 * len(sc.SWEEP_LEVELS)
+
+    def test_cluster_1000_engine(self, benchmark, cat):
+        plans = sc.fleet_plans(cat, 1000)
+        result = benchmark.pedantic(
+            sc.run_fleet, args=(cat, plans), kwargs={"dedupe": True},
+            rounds=1, iterations=1,
+        )
+        assert len(result.outcomes) == 1000 * len(sc.SWEEP_LEVELS)
+
+
+class TestPipelineSweep:
+    def test_policy_sweep(self, benchmark, cat):
+        from repro.evaluation.colocation_eval import evaluate_policy
+
+        evaluation = benchmark.pedantic(
+            evaluate_policy,
+            args=(cat, "pom"),
+            kwargs={
+                "placement_seeds": range(4),
+                "levels": sc.SWEEP_LEVELS,
+                "duration_s": sc.SWEEP_DURATION_S,
+            },
+            rounds=1,
+            iterations=1,
+        )
+        assert len(evaluation.runs) == 4

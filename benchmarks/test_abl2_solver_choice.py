@@ -7,28 +7,21 @@ on the same fitted performance matrix.
 Expected shape: LP, Hungarian and brute force agree exactly (the
 assignment polytope is integral); greedy can fall short; the optimum
 clearly beats the mean random placement.
+
+The emitted table is a committed golden snapshot — see
+``tests/test_golden_reports.py`` and ``repro.evaluation.reports``.
 """
 
 import pytest
 
-from repro.analysis import format_table
 from repro.evaluation.ablations import ablate_solver_choice
+from repro.evaluation.reports import render_solver_choice
 
 
 def test_abl2_solver_choice(benchmark, emit, catalog):
     rows_data, random_mean = benchmark(ablate_solver_choice, catalog)
 
-    rows = [
-        [r.method, r.predicted_total,
-         ", ".join(f"{be}->{lc}" for be, lc in r.mapping)]
-        for r in rows_data
-    ]
-    rows.append(["random (mean of 24)", random_mean, "--"])
-    emit("abl2_solver_choice", format_table(
-        ["method", "predicted total", "placement"],
-        rows,
-        title="Ablation A2 — assignment back ends on the same matrix",
-    ))
+    emit("abl2_solver_choice", render_solver_choice(rows_data, random_mean))
 
     by_method = {r.method: r for r in rows_data}
     assert by_method["lp"].predicted_total == pytest.approx(

@@ -11,65 +11,33 @@ Expected shape: the LP at least matches greedy and clearly beats the
 random mean; the flow pattern inherits the 1:1 story (graph volume lands
 on the high-headroom / cores-rich clusters, lstm volume on the
 ways-rich ones).
+
+The totals table is a committed golden snapshot — see
+``tests/test_golden_reports.py`` and ``repro.evaluation.reports``.
 """
 
-import numpy as np
-
-from repro.analysis import format_table
-from repro.core.placement import fleet_placement
-
-DEMANDS = {"lstm": 30, "rnn": 20, "graph": 25, "pbzip": 15}
-CAPACITIES = {"img-dnn": 40, "sphinx": 30, "xapian": 20, "tpcc": 20}
-
-
-def solve_fleet(catalog):
-    matrix = catalog.performance_matrix()
-    lp = fleet_placement(matrix, DEMANDS, CAPACITIES, method="lp")
-    greedy = fleet_placement(matrix, DEMANDS, CAPACITIES, method="greedy")
-    # Random floor: spread every stream uniformly over clusters with
-    # remaining room, averaged over seeds.
-    rng_totals = []
-    for seed in range(20):
-        rng = np.random.default_rng(seed)
-        remaining = dict(CAPACITIES)
-        total = 0.0
-        for be, demand in DEMANDS.items():
-            for _ in range(demand):
-                open_lcs = [lc for lc, cap in remaining.items() if cap > 0]
-                lc = open_lcs[int(rng.integers(len(open_lcs)))]
-                remaining[lc] -= 1
-                total += matrix.cell(be, lc)
-        rng_totals.append(total)
-    return matrix, lp, greedy, float(np.mean(rng_totals))
+from repro.evaluation.reports import (
+    FLEET_DEMANDS,
+    render_fleet_flows,
+    render_fleet_totals,
+    solve_fleet_scale,
+)
 
 
 def test_abl9_fleet_scale(benchmark, emit, catalog):
-    matrix, lp, greedy, random_mean = benchmark.pedantic(
-        solve_fleet, args=(catalog,), rounds=1, iterations=1
+    result = benchmark.pedantic(
+        solve_fleet_scale, args=(catalog,), rounds=1, iterations=1
     )
+    lp = result.lp
 
-    rows = [
-        [be] + [lp.servers(be, lc) for lc in lp.lc_names]
-        for be in lp.be_names
-    ]
-    emit("abl9_fleet_flows", format_table(
-        ["stream \\ cluster"] + list(lp.lc_names), rows,
-        title=f"Ablation A9 — LP fleet flows "
-              f"(demands {DEMANDS}, capacities {CAPACITIES})",
-    ))
-    emit("abl9_fleet_totals", format_table(
-        ["method", "predicted total"],
-        [["lp", lp.predicted_total],
-         ["greedy", greedy.predicted_total],
-         ["random (mean of 20)", random_mean]],
-        title="Fleet-scale placement quality",
-    ))
+    emit("abl9_fleet_flows", render_fleet_flows(lp))
+    emit("abl9_fleet_totals", render_fleet_totals(result))
 
-    assert lp.predicted_total >= greedy.predicted_total - 1e-9
-    assert lp.predicted_total > random_mean * 1.02
+    assert lp.predicted_total >= result.greedy.predicted_total - 1e-9
+    assert lp.predicted_total > result.random_mean * 1.02
     # Structural check inherited from the 1:1 story: under contention,
     # the bulk of graph's volume lands on the sphinx cluster (its Fig 14
     # home), freeing the xapian column for the streams that need it.
-    assert lp.servers("graph", "sphinx") >= DEMANDS["graph"] // 2
-    for be, demand in DEMANDS.items():
+    assert lp.servers("graph", "sphinx") >= FLEET_DEMANDS["graph"] // 2
+    for be, demand in FLEET_DEMANDS.items():
         assert sum(lp.servers(be, lc) for lc in lp.lc_names) == demand

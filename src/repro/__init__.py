@@ -21,6 +21,9 @@ Package layout
     Hungarian assignment and a two-phase simplex LP, from scratch.
 ``repro.sim``
     The time-stepped colocation and cluster simulators.
+``repro.engine``
+    The execution layer: vectorized placement math, deterministic
+    process-pool fan-out, and exact cell deduplication.
 ``repro.cost``
     The Hamilton-style TCO model of Section V-F.
 ``repro.evaluation``

@@ -139,18 +139,18 @@ def predict_be_throughput(
     return be_model.performance((float(alloc.cores), float(alloc.ways))) / full
 
 
-def build_performance_matrix(
+def _build_performance_matrix_reference(
     servers: Sequence[LcServerSide],
     be_models: Dict[str, IndirectUtilityModel],
     spec: ServerSpec,
     levels: Sequence[float] = UNIFORM_EVAL_LEVELS,
     margin: float = DEFAULT_PLACEMENT_MARGIN,
 ) -> PerformanceMatrix:
-    """Populate the placement matrix over the LC apps' dynamic load range.
+    """The loop-based matrix population, kept as the differential oracle.
 
-    Each cell averages the predicted normalized BE throughput across
-    ``levels`` — "for the dynamic range of the LC application" — under a
-    uniform load distribution, exactly the evaluation's averaging.
+    :func:`build_performance_matrix` (the vectorized engine path) must
+    reproduce this cell for cell, bit for bit;
+    ``tests/test_engine_differential.py`` holds it to that.
     """
     if not servers or not be_models:
         raise ConfigError("need at least one LC server and one BE model")
@@ -168,6 +168,30 @@ def build_performance_matrix(
             ]
             values[i, j] = float(np.mean(preds))
     return PerformanceMatrix(be_names=be_names, lc_names=lc_names, values=values)
+
+
+def build_performance_matrix(
+    servers: Sequence[LcServerSide],
+    be_models: Dict[str, IndirectUtilityModel],
+    spec: ServerSpec,
+    levels: Sequence[float] = UNIFORM_EVAL_LEVELS,
+    margin: float = DEFAULT_PLACEMENT_MARGIN,
+) -> PerformanceMatrix:
+    """Populate the placement matrix over the LC apps' dynamic load range.
+
+    Each cell averages the predicted normalized BE throughput across
+    ``levels`` — "for the dynamic range of the LC application" — under a
+    uniform load distribution, exactly the evaluation's averaging.
+
+    Computation runs on the vectorized engine (numpy broadcasting over
+    the BE x LC x level cube, memoized spare-capacity solves), which is
+    bit-identical to :func:`_build_performance_matrix_reference`.
+    """
+    from repro.engine.vectorized import build_performance_matrix_vectorized
+
+    return build_performance_matrix_vectorized(
+        servers, be_models, spec, levels=levels, margin=margin
+    )
 
 
 def assign_with_fallback(

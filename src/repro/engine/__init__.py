@@ -1,0 +1,42 @@
+"""Execution engine: vectorized math and deterministic fan-out.
+
+The simulation and placement layers describe *what* to compute; this
+package decides *how fast*.  Three mechanisms, all result-preserving:
+
+* :mod:`repro.engine.vectorized` — the placement performance matrix
+  (Fig 7 step II) computed with numpy broadcasting over the
+  BE x LC x load-level cube instead of nested Python loops, bit-identical
+  to the loop-based reference kept in :mod:`repro.core.placement`.
+* :mod:`repro.engine.parallel` — an ordered, seed-explicit process-pool
+  map for independent simulation cells (``run_cluster``) and policy
+  sweeps (``evaluation.pipeline.run_policy``); ``workers=1`` *is* the
+  serial path, not an emulation of it.
+* cell **deduplication** — replicated fleets (many servers sharing the
+  same app/manager/provisioning template) run each distinct
+  (plan, level) cell once and fan the outcome back out, which is exact
+  because every cell is a pure function of its explicit inputs.
+
+``tests/test_engine_differential.py`` pins all three equivalences;
+``benchmarks/perf/`` tracks the speedups in ``BENCH_engine.json``.
+"""
+
+from repro.engine.parallel import CellKey, map_ordered
+from repro.engine.vectorized import (
+    ModelGrid,
+    build_performance_matrix_vectorized,
+    cached_spare_capacity,
+    clear_engine_caches,
+    model_grid,
+    predict_be_throughput_batch,
+)
+
+__all__ = [
+    "CellKey",
+    "ModelGrid",
+    "build_performance_matrix_vectorized",
+    "cached_spare_capacity",
+    "clear_engine_caches",
+    "map_ordered",
+    "model_grid",
+    "predict_be_throughput_batch",
+]

@@ -1,0 +1,88 @@
+"""Deterministic fan-out for independent simulation cells.
+
+Every cell the cluster sweep runs — one (server plan, load level)
+steady-state colocation — is a pure function of its explicit arguments:
+the RNG is constructed inside the cell from the seed carried by its
+:class:`~repro.sim.colocation.SimConfig`, never inherited from ambient
+state.  That makes the sweep embarrassingly parallel *and* exactly
+reproducible:
+
+* **ordered collection** — results come back in submission order no
+  matter which worker finishes first, so aggregates see the same
+  sequence the serial loop produces;
+* **explicit seed threading** — each task tuple carries its own config
+  (and therefore its seed) across the process boundary; workers share
+  no RNG;
+* **serial fallback** — ``workers=1`` runs the exact same
+  ``[fn(*t) for t in tasks]`` loop the pre-engine code ran, not a pool
+  of one.
+
+:func:`map_ordered` also supports **deduplication**: when the caller
+can prove two tasks are identical (same key), the function is evaluated
+once per distinct key and the result is fanned back out positionally.
+Purity makes this exact; replicated fleets make it fast.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.errors import ConfigError
+
+T = TypeVar("T")
+
+#: A hashable identity for one task; tasks with equal keys must be
+#: guaranteed (by the caller) to produce equal results.
+CellKey = Hashable
+
+
+def _run_serial(fn: Callable[..., T], tasks: Sequence[Tuple]) -> List[T]:
+    return [fn(*task) for task in tasks]
+
+
+def _run_pool(
+    fn: Callable[..., T], tasks: Sequence[Tuple], workers: int
+) -> List[T]:
+    """Submit every task, collect results in submission order."""
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(fn, *task) for task in tasks]
+        return [future.result() for future in futures]
+
+
+def map_ordered(
+    fn: Callable[..., T],
+    tasks: Sequence[Tuple],
+    workers: int = 1,
+    keys: Optional[Sequence[CellKey]] = None,
+) -> List[T]:
+    """Map ``fn`` over argument tuples, preserving order and determinism.
+
+    ``workers=1`` is the plain serial loop.  ``workers>1`` fans the
+    tasks out to a process pool; ``fn`` and every argument must be
+    picklable (module-level functions, dataclasses — no closures).
+
+    ``keys``, when given, must align with ``tasks``: tasks with equal
+    keys are evaluated once and share the result object.  Only pass
+    keys for pure functions — the whole point is that re-running an
+    identical cell is provably wasted work.
+    """
+    if workers < 1:
+        raise ConfigError("workers must be at least 1")
+    if keys is None:
+        if workers == 1:
+            return _run_serial(fn, tasks)
+        return _run_pool(fn, tasks, workers)
+    if len(keys) != len(tasks):
+        raise ConfigError("keys must align one-to-one with tasks")
+    first_index: dict = {}
+    unique_tasks: List[Tuple] = []
+    for task, key in zip(tasks, keys):
+        if key not in first_index:
+            first_index[key] = len(unique_tasks)
+            unique_tasks.append(task)
+    if workers == 1:
+        unique_results = _run_serial(fn, unique_tasks)
+    else:
+        unique_results = _run_pool(fn, unique_tasks, workers)
+    return [unique_results[first_index[key]] for key in keys]

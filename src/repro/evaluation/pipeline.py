@@ -158,20 +158,41 @@ def placement_for_policy(
     raise ConfigError(f"unknown policy {policy!r}; choose from {POLICIES}")
 
 
+@dataclass(frozen=True)
+class HeraclesFactory:
+    """Builds the power-unaware baseline manager.
+
+    A frozen dataclass (not a closure) so that :class:`ServerPlan`
+    objects pickle across the engine's process pool and compare equal
+    for cell deduplication.
+    """
+
+    def __call__(self, server: Server) -> ServerManagerBase:
+        return HeraclesLikeManager(server)
+
+
+@dataclass(frozen=True)
+class PomFactory:
+    """Builds the power-optimized manager around one fitted LC model.
+
+    Value-equal when the model is the same, which lets the engine
+    recognize replicated servers; picklable for pooled execution.
+    """
+
+    model: object
+
+    def __call__(self, server: Server) -> ServerManagerBase:
+        return PowerOptimizedManager(server, model=self.model)
+
+
 def manager_factory(
     catalog: FittedCatalog, lc_name: str, policy: str
 ):
     """Manager constructor for one server under one policy."""
     if policy in ("random", POLICY_RANDOM_NOCAP):
-        def build(server: Server) -> ServerManagerBase:
-            return HeraclesLikeManager(server)
-        return build
+        return HeraclesFactory()
     if policy in ("pom", "pocolo"):
-        model = catalog.lc_fits[lc_name].model
-
-        def build(server: Server) -> ServerManagerBase:
-            return PowerOptimizedManager(server, model=model)
-        return build
+        return PomFactory(model=catalog.lc_fits[lc_name].model)
     raise ConfigError(f"unknown policy {policy!r}; choose from {POLICIES}")
 
 
@@ -217,12 +238,18 @@ def run_policy(
     seed: int = 0,
     sim_config: Optional[SimConfig] = None,
     placement: Optional[PlacementDecision] = None,
+    workers: int = 1,
+    dedupe: bool = False,
 ) -> ClusterRunResult:
     """Run one policy over the full cluster and load sweep.
 
     ``random-nocap`` runs the random policy with every server provisioned
     at :data:`~repro.apps.catalog.NOCAP_PROVISIONED_W` (the Section V-F
     TCO baseline); all other policies use right-sized capacities.
+
+    ``workers`` / ``dedupe`` are forwarded to
+    :func:`~repro.sim.cluster.run_cluster` — bit-identical execution
+    knobs, not semantic ones.
     """
     if placement is None:
         placement = placement_for_policy(catalog, policy, seed=seed, levels=levels)
@@ -230,7 +257,8 @@ def run_policy(
     plans = cluster_plans(catalog, placement, policy, provisioned_override_w=override)
     config = sim_config if sim_config is not None else SimConfig(seed=seed)
     return run_cluster(plans, catalog.spec, levels=levels,
-                       duration_s=duration_s, config=config)
+                       duration_s=duration_s, config=config,
+                       workers=workers, dedupe=dedupe)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,143 @@
+"""Renderers for the snapshot-pinned ablation reports.
+
+The benchmark harness regenerates every figure/table under
+``benchmarks/out/``; two of those artifacts double as *golden
+snapshots* — committed text files that ``tests/test_golden_reports.py``
+regenerates and diffs byte-for-byte on every test run:
+
+* ``abl2_solver_choice.txt`` — the assignment-solver comparison, which
+  covers the performance matrix (now served by the vectorized engine)
+  plus every assignment back end;
+* ``abl9_fleet_totals.txt`` — the fleet-scale transportation LP over the
+  same matrix.
+
+Keeping the rendering here (rather than inline in the benchmarks) means
+the benchmark that emits a snapshot and the test that checks it share
+one code path, so they cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core.placement import FleetPlacement, fleet_placement
+from repro.evaluation.ablations import SolverAblationRow, ablate_solver_choice
+from repro.evaluation.pipeline import FittedCatalog
+
+#: Per-stream server demands / per-cluster capacities for the A9
+#: fleet-scale scenario (tens of servers per LC cluster).
+FLEET_DEMANDS: Mapping[str, int] = {
+    "lstm": 30, "rnn": 20, "graph": 25, "pbzip": 15,
+}
+FLEET_CAPACITIES: Mapping[str, int] = {
+    "img-dnn": 40, "sphinx": 30, "xapian": 20, "tpcc": 20,
+}
+
+
+def render_solver_choice(
+    rows: Sequence[SolverAblationRow], random_mean: float
+) -> str:
+    """The ``abl2_solver_choice`` table, exactly as emitted."""
+    table_rows = [
+        [r.method, r.predicted_total,
+         ", ".join(f"{be}->{lc}" for be, lc in r.mapping)]
+        for r in rows
+    ]
+    table_rows.append(["random (mean of 24)", random_mean, "--"])
+    return format_table(
+        ["method", "predicted total", "placement"],
+        table_rows,
+        title="Ablation A2 — assignment back ends on the same matrix",
+    )
+
+
+def solver_choice_report(catalog: FittedCatalog) -> str:
+    """Regenerate the ``abl2_solver_choice`` snapshot from a catalog."""
+    rows, random_mean = ablate_solver_choice(catalog)
+    return render_solver_choice(rows, random_mean)
+
+
+@dataclass(frozen=True)
+class FleetScaleResult:
+    """The A9 scenario solved three ways over one fitted matrix."""
+
+    lp: FleetPlacement
+    greedy: FleetPlacement
+    random_mean: float
+
+
+def solve_fleet_scale(
+    catalog: FittedCatalog,
+    demands: Mapping[str, int] = FLEET_DEMANDS,
+    capacities: Mapping[str, int] = FLEET_CAPACITIES,
+    random_seeds: Sequence[int] = tuple(range(20)),
+) -> FleetScaleResult:
+    """Solve the fleet-scale placement via LP, greedy, and random floor.
+
+    The random floor spreads every stream uniformly over clusters with
+    remaining room, averaged over ``random_seeds``.
+    """
+    matrix = catalog.performance_matrix()
+    lp = fleet_placement(matrix, demands, capacities, method="lp")
+    greedy = fleet_placement(matrix, demands, capacities, method="greedy")
+    rng_totals = []
+    for seed in random_seeds:
+        rng = np.random.default_rng(seed)
+        remaining: Dict[str, int] = dict(capacities)
+        total = 0.0
+        for be, demand in demands.items():
+            for _ in range(demand):
+                open_lcs = [lc for lc, cap in remaining.items() if cap > 0]
+                lc = open_lcs[int(rng.integers(len(open_lcs)))]
+                remaining[lc] -= 1
+                total += matrix.cell(be, lc)
+        rng_totals.append(total)
+    return FleetScaleResult(
+        lp=lp, greedy=greedy, random_mean=float(np.mean(rng_totals))
+    )
+
+
+def render_fleet_flows(
+    lp: FleetPlacement,
+    demands: Mapping[str, int] = FLEET_DEMANDS,
+    capacities: Mapping[str, int] = FLEET_CAPACITIES,
+) -> str:
+    """The ``abl9_fleet_flows`` table (regenerated, not pinned)."""
+    rows = [
+        [be] + [lp.servers(be, lc) for lc in lp.lc_names]
+        for be in lp.be_names
+    ]
+    return format_table(
+        ["stream \\ cluster"] + list(lp.lc_names), rows,
+        title=f"Ablation A9 — LP fleet flows "
+              f"(demands {dict(demands)}, capacities {dict(capacities)})",
+    )
+
+
+def render_fleet_totals(result: FleetScaleResult) -> str:
+    """The ``abl9_fleet_totals`` table, exactly as emitted."""
+    return format_table(
+        ["method", "predicted total"],
+        [["lp", result.lp.predicted_total],
+         ["greedy", result.greedy.predicted_total],
+         ["random (mean of 20)", result.random_mean]],
+        title="Fleet-scale placement quality",
+    )
+
+
+def fleet_totals_report(catalog: FittedCatalog) -> str:
+    """Regenerate the ``abl9_fleet_totals`` snapshot from a catalog."""
+    return render_fleet_totals(solve_fleet_scale(catalog))
+
+
+#: Snapshot-pinned artifacts: files under ``benchmarks/out/`` that stay
+#: committed and are regenerated + diffed by the golden tests.  Every
+#: other ``benchmarks/out`` file is generated-only (gitignored).
+GOLDEN_REPORTS: Tuple[Tuple[str, str], ...] = (
+    ("abl2_solver_choice.txt", "solver_choice_report"),
+    ("abl9_fleet_totals.txt", "fleet_totals_report"),
+)

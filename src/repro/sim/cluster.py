@@ -23,6 +23,7 @@ from repro.apps.best_effort import BestEffortApp
 from repro.apps.latency_critical import LatencyCriticalApp
 from repro.core.placement import assign_with_fallback
 from repro.core.server_manager import ServerManagerBase
+from repro.engine.parallel import map_ordered
 from repro.errors import ConfigError
 from repro.faults.cluster import (
     ClusterFaultPlan,
@@ -172,6 +173,43 @@ def _run_cell(
     )
 
 
+def _cell_key(
+    plan: ServerPlan,
+    spec: ServerSpec,
+    level: float,
+    duration_s: float,
+    config: SimConfig,
+    be_app: Optional[BestEffortApp],
+    faults,
+):
+    """Identity of one cell for deduplication.
+
+    Two cells with equal keys run the exact same simulation:
+    :func:`_run_cell` is a pure function of its arguments (the RNG is
+    built inside from ``config.seed``).  Apps and fault schedules are
+    compared by object identity — replicated fleets share app objects,
+    which is precisely the case dedupe targets; manager factories are
+    compared by value when hashable (the pipeline's factories are) and
+    by identity otherwise (user closures never dedupe by accident).
+    """
+    try:
+        hash(plan.manager_factory)
+        factory_key = plan.manager_factory
+    except TypeError:
+        factory_key = ("id", id(plan.manager_factory))
+    return (
+        id(plan.lc_app),
+        None if be_app is None else id(be_app),
+        plan.provisioned_power_w,
+        factory_key,
+        spec,
+        level,
+        duration_s,
+        config,
+        None if faults is None else id(faults),
+    )
+
+
 def run_cluster(
     plans: Sequence[ServerPlan],
     spec: ServerSpec,
@@ -179,6 +217,8 @@ def run_cluster(
     duration_s: float = 60.0,
     config: SimConfig = SimConfig(),
     fault_plan: Optional[ClusterFaultPlan] = None,
+    workers: int = 1,
+    dedupe: bool = False,
 ) -> ClusterRunResult:
     """Run every server plan at every load level, fresh state per cell.
 
@@ -186,6 +226,19 @@ def run_cluster(
     levels run in order, crash events drop servers between levels, their
     displaced best-effort apps are re-placed onto survivors, and the
     returned result carries a :class:`ClusterFaultReport`.
+
+    Cells never interact (fresh server + manager per cell; the faulted
+    timeline's control flow depends only on the fault plan, not on cell
+    outcomes), so execution is delegated to the engine:
+
+    * ``workers`` — fan independent cells out to a process pool with
+      ordered collection; ``workers=1`` is the exact serial loop.
+    * ``dedupe`` — run each distinct (plan, level) cell once and reuse
+      the outcome for replicas (see :func:`_cell_key`); exact because
+      cells are pure, and the big lever for replicated fleets.
+
+    Both knobs are bit-identical to the default serial run — the
+    differential suite pins that.
     """
     if not plans:
         raise ConfigError("cluster needs at least one server plan")
@@ -193,14 +246,17 @@ def run_cluster(
         raise ConfigError("need at least one load level")
     if fault_plan is not None:
         return _run_cluster_faulted(
-            plans, spec, levels, duration_s, config, fault_plan
+            plans, spec, levels, duration_s, config, fault_plan,
+            workers=workers, dedupe=dedupe,
         )
+    tasks = [
+        (plan, spec, level, duration_s, config, plan.be_app, None)
+        for plan in plans
+        for level in levels
+    ]
+    keys = [_cell_key(*task) for task in tasks] if dedupe else None
     result = ClusterRunResult()
-    for plan in plans:
-        for level in levels:
-            result.outcomes.append(
-                _run_cell(plan, spec, level, duration_s, config, plan.be_app)
-            )
+    result.outcomes.extend(map_ordered(_run_cell, tasks, workers=workers, keys=keys))
     return result
 
 
@@ -257,6 +313,8 @@ def _run_cluster_faulted(
     duration_s: float,
     config: SimConfig,
     fault_plan: ClusterFaultPlan,
+    workers: int = 1,
+    dedupe: bool = False,
 ) -> ClusterRunResult:
     """The level-major sweep with crash/recovery handling.
 
@@ -265,6 +323,11 @@ def _run_cluster_faulted(
     its spare slice: each co-runner gets an equal share of the cell's
     duration on a fresh server (the Section V-G time-sharing extension),
     so their reported throughputs are per-share averages.
+
+    The crash/recovery/re-placement control flow depends only on the
+    fault plan — never on cell outcomes — so the timeline is walked
+    first to decide every cell, and the cells then execute through the
+    engine (serial, pooled, or deduplicated) in timeline order.
     """
     known = {plan.lc_app.name for plan in plans}
     for crash in fault_plan.crashes:
@@ -277,6 +340,7 @@ def _run_cluster_faulted(
         plan.lc_app.name: ([plan.be_app] if plan.be_app is not None else [])
         for plan in plans
     }
+    tasks: List[Tuple] = []
     for level_index, level in enumerate(levels):
         for event in fault_plan.recoveries_at(level_index):
             if event.lc_name not in hosting:
@@ -302,15 +366,17 @@ def _run_cluster_faulted(
                 continue
             co_runners = hosting[name]
             if not co_runners:
-                result.outcomes.append(_run_cell(
+                tasks.append((
                     plan, spec, level, duration_s, config, None,
-                    faults=fault_plan.cell_faults,
+                    fault_plan.cell_faults,
                 ))
                 continue
             share_s = duration_s / len(co_runners)
             for be_app in co_runners:
-                result.outcomes.append(_run_cell(
+                tasks.append((
                     plan, spec, level, share_s, config, be_app,
-                    faults=fault_plan.cell_faults,
+                    fault_plan.cell_faults,
                 ))
+    keys = [_cell_key(*task) for task in tasks] if dedupe else None
+    result.outcomes.extend(map_ordered(_run_cell, tasks, workers=workers, keys=keys))
     return result

@@ -1,0 +1,163 @@
+"""Property-based tests for the execution engine (Hypothesis).
+
+Structural invariants that must hold for *any* valid model, not just the
+paper's catalog:
+
+* permuting the BE apps / LC servers permutes the performance matrix's
+  rows / columns and changes nothing else;
+* the memoized spare-capacity solve equals the uncached solve;
+* the batched throughput prediction equals the scalar one, cell by cell;
+* the assignment produced by ``assign_with_fallback`` is invariant under
+  scaling the whole matrix by a constant factor (power-of-two factors,
+  so the scaling itself is float-exact and ties cannot flip).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.placement import (
+    LcServerSide,
+    assign_with_fallback,
+    build_performance_matrix,
+    predict_be_throughput,
+    predict_spare_capacity,
+)
+from repro.core.utility import (
+    CobbDouglasParams,
+    IndirectUtilityModel,
+    LinearPowerParams,
+)
+from repro.engine.vectorized import (
+    cached_spare_capacity,
+    predict_be_throughput_batch,
+)
+from repro.hwmodel.spec import Allocation, ServerSpec
+
+SPEC = ServerSpec()
+
+alpha = st.floats(min_value=0.15, max_value=1.2)
+alpha0 = st.floats(min_value=0.5, max_value=5.0)
+p_marginal = st.floats(min_value=0.5, max_value=8.0)
+p_static = st.floats(min_value=0.0, max_value=55.0)
+level = st.floats(min_value=0.05, max_value=1.0)
+
+
+@st.composite
+def models(draw):
+    return IndirectUtilityModel(
+        perf=CobbDouglasParams(
+            alpha0=draw(alpha0), alphas=(draw(alpha), draw(alpha))
+        ),
+        power=LinearPowerParams(
+            p_static=draw(p_static), p=(draw(p_marginal), draw(p_marginal))
+        ),
+    )
+
+
+@st.composite
+def lc_servers(draw, name="lc"):
+    return LcServerSide(
+        name=name,
+        model=draw(models()),
+        provisioned_power_w=draw(st.floats(min_value=80.0, max_value=220.0)),
+        peak_load=draw(st.floats(min_value=10.0, max_value=100.0)),
+    )
+
+
+class TestPermutationInvariance:
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_matrix_permutes_with_inputs(self, data):
+        n_lc = data.draw(st.integers(min_value=2, max_value=4))
+        n_be = data.draw(st.integers(min_value=2, max_value=4))
+        servers = [
+            data.draw(lc_servers(name=f"lc-{i}")) for i in range(n_lc)
+        ]
+        be_models = {f"be-{i}": data.draw(models()) for i in range(n_be)}
+        levels = (0.25, 0.75)
+
+        base = build_performance_matrix(servers, be_models, SPEC, levels=levels)
+
+        lc_perm = data.draw(st.permutations(range(n_lc)))
+        be_perm = data.draw(st.permutations(range(n_be)))
+        servers_p = [servers[j] for j in lc_perm]
+        be_names = list(be_models)
+        be_models_p = {be_names[i]: be_models[be_names[i]] for i in be_perm}
+        permuted = build_performance_matrix(
+            servers_p, be_models_p, SPEC, levels=levels
+        )
+
+        assert permuted.lc_names == tuple(servers[j].name for j in lc_perm)
+        assert permuted.be_names == tuple(be_names[i] for i in be_perm)
+        for i_new, i_old in enumerate(be_perm):
+            for j_new, j_old in enumerate(lc_perm):
+                assert permuted.values[i_new, j_new] == base.values[i_old, j_old]
+
+
+class TestMemoization:
+    @settings(max_examples=50, deadline=None)
+    @given(lc_servers(), level)
+    def test_cached_spare_capacity_equals_uncached(self, lc, lvl):
+        spare_u, budget_u = predict_spare_capacity(lc, SPEC, lvl)
+        spare_c, budget_c = cached_spare_capacity(lc, SPEC, lvl)
+        assert spare_c == spare_u
+        assert budget_c == budget_u
+        # A second hit returns the same values (the cache cannot drift).
+        spare_c2, budget_c2 = cached_spare_capacity(lc, SPEC, lvl)
+        assert (spare_c2, budget_c2) == (spare_c, budget_c)
+
+
+class TestBatchedPrediction:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        models(),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=SPEC.cores),
+                st.integers(min_value=0, max_value=SPEC.llc_ways),
+                st.floats(min_value=0.0, max_value=250.0),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+    )
+    def test_batch_equals_scalar(self, be_model, cells):
+        # cores > 0 with ways == 0 is not a constructible Allocation;
+        # fold that corner onto the parked (0, 0) spare.
+        spares = [
+            Allocation(cores=c, ways=w) if (c == 0 or w > 0)
+            else Allocation(cores=0, ways=0)
+            for c, w, _b in cells
+        ]
+        budgets = [b for _c, _w, b in cells]
+        batch = predict_be_throughput_batch(be_model, SPEC, spares, budgets)
+        scalar = [
+            predict_be_throughput(be_model, SPEC, spare, budget)
+            for spare, budget in zip(spares, budgets)
+        ]
+        assert batch.tolist() == scalar
+
+
+class TestAssignmentScaling:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=10 ** 6),
+        st.integers(min_value=-8, max_value=8),
+    )
+    def test_objective_invariant_under_constant_scaling(
+        self, n_be, n_lc, seed, exponent
+    ):
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(0.0, 1.0, size=(n_be, n_lc))
+        factor = float(2.0 ** exponent)
+
+        base_assignment, base_total, base_method, _ = assign_with_fallback(values)
+        scaled_assignment, scaled_total, scaled_method, _ = assign_with_fallback(
+            values * factor
+        )
+        assert scaled_assignment == base_assignment
+        assert scaled_method == base_method
+        assert scaled_total == pytest.approx(base_total * factor, rel=1e-12)

@@ -26,6 +26,7 @@ PACKAGES = (
     "repro.apps",
     "repro.core",
     "repro.cost",
+    "repro.engine",
     "repro.evaluation",
     "repro.hwmodel",
     "repro.sim",

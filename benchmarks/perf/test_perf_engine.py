@@ -16,9 +16,9 @@ that feed the repo's perf trajectory are produced by ``run_bench.py``
 """
 
 import numpy as np
+import perf_scenarios as sc
 import pytest
 
-import perf_scenarios as sc
 from repro.core.placement import _build_performance_matrix_reference
 from repro.engine.vectorized import build_performance_matrix_vectorized
 

@@ -68,6 +68,6 @@ def test_abl6_three_resources(benchmark, emit):
     # The discrete path is monotone in every axis and respects limits.
     ordered = [allocations[f] for f in sorted(allocations)]
     for lo, hi in zip(ordered, ordered[1:]):
-        assert all(h >= l for l, h in zip(lo, hi))
+        assert all(b >= a for a, b in zip(lo, hi))
     for point in ordered:
         assert all(1 <= point[j] <= app.limits[j] for j in range(3))

@@ -90,10 +90,10 @@ def test_val3_power_accounting(benchmark, emit, catalog):
         ["convention", "placement", "measured total server load"],
         [
             ["active power",
-             ", ".join(f"{b}->{l}" for b, l in sorted(active_mapping.items())),
+             ", ".join(f"{b}->{lc}" for b, lc in sorted(active_mapping.items())),
              active_measured],
             ["idle apportioned",
-             ", ".join(f"{b}->{l}" for b, l in sorted(attr_mapping.items())),
+             ", ".join(f"{b}->{lc}" for b, lc in sorted(attr_mapping.items())),
              attr_measured],
         ],
         title="V3 — placement under each convention, measured in simulation",

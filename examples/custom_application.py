@@ -17,13 +17,13 @@ import numpy as np
 
 from repro.analysis import format_table
 from repro.apps import (
+    REFERENCE_SPEC,
     ApplicationProfile,
     BestEffortApp,
     LatencyCriticalApp,
     LatencySlo,
     PerformanceSurface,
     PowerSurface,
-    REFERENCE_SPEC,
     TailLatencyModel,
     derive_power_coefficients,
 )

@@ -1,17 +1,17 @@
 """Analysis utilities: reporting tables and resampling statistics."""
 
-from repro.analysis.stats import (
-    Summary,
-    bootstrap_ci,
-    paired_diff_ci,
-    relative_gain_ci,
-)
 from repro.analysis.reporting import (
     format_cell,
     format_degradation,
     format_series,
     format_table,
     percent_change,
+)
+from repro.analysis.stats import (
+    Summary,
+    bootstrap_ci,
+    paired_diff_ci,
+    relative_gain_ci,
 )
 
 __all__ = [

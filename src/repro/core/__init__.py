@@ -43,13 +43,13 @@ from repro.core.multires import (
 from repro.core.placement import (
     DEFAULT_PLACEMENT_MARGIN,
     FleetPlacement,
-    assign_with_fallback,
-    fleet_placement,
     LcServerSide,
     PerformanceMatrix,
     PlacementDecision,
+    assign_with_fallback,
     build_performance_matrix,
     enumerate_placements,
+    fleet_placement,
     pocolo_placement,
     predict_be_throughput,
     predict_spare_capacity,
@@ -76,11 +76,6 @@ from repro.core.spatial import (
     exhaustive_partition,
     partition_spare,
 )
-from repro.core.validation import (
-    FitDiagnostics,
-    diagnose_fit,
-    leontief_samples,
-)
 from repro.core.utility import (
     RESOURCES,
     CobbDouglasParams,
@@ -88,6 +83,11 @@ from repro.core.utility import (
     LinearPowerParams,
     integer_demand_allocation,
     integer_min_power_allocation,
+)
+from repro.core.validation import (
+    FitDiagnostics,
+    diagnose_fit,
+    leontief_samples,
 )
 
 __all__ = [

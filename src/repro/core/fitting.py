@@ -18,15 +18,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.utility import (
+    RESOURCES,
     CobbDouglasParams,
     IndirectUtilityModel,
     LinearPowerParams,
-    RESOURCES,
 )
 from repro.errors import ModelFitError
 
@@ -62,7 +62,7 @@ class FitResult:
     r2_power: float
     n_samples: int
 
-    def preference_vector(self):
+    def preference_vector(self) -> Dict[str, float]:
         """Shortcut to the fitted model's normalized a_j/p_j vector."""
         return self.model.preference_vector()
 

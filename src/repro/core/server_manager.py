@@ -31,7 +31,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.utility import IndirectUtilityModel, integer_min_power_allocation
-from repro.errors import CapacityError, ConfigError
+from repro.errors import CapacityError, ConfigError, SimulationError
 from repro.hwmodel.server import Server
 from repro.hwmodel.spec import Allocation
 
@@ -134,7 +134,11 @@ class ServerManagerBase:
             self.stats.slo_violations += 1
 
         primary = self.server.primary_tenant()
-        assert primary is not None
+        if primary is None:
+            raise SimulationError(
+                f"{type(self).__name__} on server {self.server.name!r}: "
+                "primary tenant detached mid-control-loop"
+            )
         current = self.server.allocation_of(primary)
         target = self._decide_primary_allocation(current, measured_load, measured_slack)
         if target != current:
@@ -173,7 +177,11 @@ class ServerManagerBase:
         if be is None:
             return
         primary = self.server.primary_tenant()
-        assert primary is not None
+        if primary is None:
+            raise SimulationError(
+                f"{type(self).__name__} on server {self.server.name!r}: "
+                "primary tenant detached while refreshing the BE spare grant"
+            )
         prim = self.server.allocation_of(primary)
         spec = self.server.spec
         cores = spec.cores - prim.cores

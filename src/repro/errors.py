@@ -42,3 +42,9 @@ class SimulationError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid configuration values (negative power, empty load range, ...)."""
+
+
+class LintError(ReproError):
+    """The static-analysis driver itself failed (unreadable file, bad
+    baseline, unknown rule id) — distinct from *findings*, which are
+    reported data, not exceptions."""

@@ -15,11 +15,13 @@ quantify it:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.apps.best_effort import BestEffortApp
 from repro.apps.catalog import best_effort_apps, latency_critical_apps
+from repro.apps.latency_critical import LatencyCriticalApp
 from repro.core.fitting import fit_indirect_utility
 from repro.core.placement import pocolo_placement, random_placement
 from repro.core.profiler import profile_best_effort, profile_latency_critical
@@ -264,7 +266,9 @@ class CalibrationTrialRow:
     predicted_regret: float
 
 
-def _perturbed_apps(rel: float, rng: np.random.Generator):
+def _perturbed_apps(
+    rel: float, rng: np.random.Generator
+) -> Tuple[Dict[str, LatencyCriticalApp], Dict[str, BestEffortApp]]:
     """The paper's catalog with every ground-truth surface perturbed.
 
     Each app's direct elasticities and power coefficients are scaled by
@@ -274,10 +278,16 @@ def _perturbed_apps(rel: float, rng: np.random.Generator):
     """
     from dataclasses import replace as dc_replace
 
-    from repro.apps.base import PerformanceSurface, PowerSurface
+    from repro.apps.base import (
+        ApplicationProfile,
+        PerformanceSurface,
+        PowerSurface,
+    )
 
-    def perturb_profile(profile):
-        f = lambda: float(rng.uniform(1.0 - rel, 1.0 + rel))
+    def perturb_profile(profile: ApplicationProfile) -> ApplicationProfile:
+        def f() -> float:
+            return float(rng.uniform(1.0 - rel, 1.0 + rel))
+
         perf = PerformanceSurface(
             alpha_cores=profile.perf.alpha_cores * f(),
             alpha_ways=profile.perf.alpha_ways * f(),

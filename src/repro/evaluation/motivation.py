@@ -28,8 +28,8 @@ from repro.apps.catalog import (
 )
 from repro.apps.latency_critical import LatencyCriticalApp
 from repro.errors import CapacityError, ConfigError
-from repro.hwmodel.meter import PowerMeter
 from repro.hwmodel.capping import PowerCapController
+from repro.hwmodel.meter import PowerMeter
 from repro.hwmodel.server import PRIMARY, SECONDARY, Server
 from repro.hwmodel.spec import Allocation, ServerSpec, spare_of
 from repro.workloads.traces import DiurnalTrace, uniform_levels

@@ -52,7 +52,12 @@ from repro.core.server_manager import (
 from repro.errors import ConfigError
 from repro.hwmodel.server import Server
 from repro.hwmodel.spec import ServerSpec
-from repro.sim.cluster import ClusterRunResult, ServerPlan, run_cluster
+from repro.sim.cluster import (
+    ClusterRunResult,
+    ManagerFactory,
+    ServerPlan,
+    run_cluster,
+)
 from repro.sim.colocation import SimConfig
 from repro.workloads.traces import UNIFORM_EVAL_LEVELS
 
@@ -187,7 +192,7 @@ class PomFactory:
 
 def manager_factory(
     catalog: FittedCatalog, lc_name: str, policy: str
-):
+) -> ManagerFactory:
     """Manager constructor for one server under one policy."""
     if policy in ("random", POLICY_RANDOM_NOCAP):
         return HeraclesFactory()

@@ -35,8 +35,8 @@ from repro.sim.timeshare import (
     FcfsScheduler,
     RoundRobinScheduler,
     SjfScheduler,
-    TimeShareResult,
     TimeSharedColocationSim,
+    TimeShareResult,
 )
 from repro.workloads.traces import ConstantTrace
 

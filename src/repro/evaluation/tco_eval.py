@@ -29,8 +29,8 @@ from repro.cost.tco import (
     relative_savings,
 )
 from repro.evaluation.pipeline import (
-    FittedCatalog,
     POLICY_RANDOM_NOCAP,
+    FittedCatalog,
     PolicySummary,
     run_policy,
     summarize_policy,

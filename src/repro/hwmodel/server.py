@@ -65,7 +65,9 @@ class Server:
         (Section II-A), hence it is set per server, not in the spec.
     """
 
-    def __init__(self, spec: ServerSpec, provisioned_power_w: float, name: str = "server-0") -> None:
+    def __init__(
+        self, spec: ServerSpec, provisioned_power_w: float, name: str = "server-0"
+    ) -> None:
         if provisioned_power_w <= 0:
             raise ConfigError("provisioned power must be positive")
         self.spec = spec

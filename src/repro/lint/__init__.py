@@ -1,0 +1,64 @@
+"""pocolint — domain-aware static analysis for the Pocolo reproduction.
+
+The paper's argument rests on two at-rest invariants nothing else
+checks statically:
+
+* **additive power accounting** — power is an indirect resource summed
+  in watts (``P_static + sum_j r_j * p_j <= Power``), so any arithmetic
+  that silently mixes watts with joules (or seconds, or GHz) corrupts
+  every budget downstream;
+* **bit-identical determinism** — the engine layer's vectorized and
+  parallel paths must reproduce their serial oracles exactly, which is
+  only possible when every source of entropy (clocks, ambient RNG,
+  unpicklable closures crossing process boundaries) is banned.
+
+``pocolint`` walks the AST of every file it is given and applies the
+rule families in :mod:`repro.lint.rules`:
+
+========== ==================== ==========================================
+code       rule id              protects
+========== ==================== ==========================================
+POCO101    ``unit-mixing``      additive watts/joules/seconds/GHz safety
+POCO201    ``nondeterminism``   clock/RNG bans (explicit seeded generators)
+POCO301    ``pool-closure``     picklable callables into process pools
+POCO401    ``exception-policy`` ReproError-only raises, no asserts/bare
+                                excepts in library code
+========== ==================== ==========================================
+
+Run it as ``python -m repro.lint [paths ...]``; see ``docs/LINTING.md``
+for the rule catalogue, suppression syntax
+(``# pocolint: disable=<rule>``) and the baseline workflow.
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import Baseline
+from repro.lint.core import (
+    Finding,
+    LintContext,
+    Rule,
+    all_rules,
+    get_rule,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register,
+)
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintContext",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+]
+
+# Importing the package registers the built-in rule families.  This sits
+# after ``__all__`` (a non-import statement) so the sorted import block
+# above stays sorted — registration order must follow the core import.
+from repro.lint import rules as _rules  # noqa: E402,F401

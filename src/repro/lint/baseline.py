@@ -1,0 +1,111 @@
+"""Baseline files: grandfathering findings without turning off rules.
+
+A baseline is a committed JSON document recording, per rule, how many
+findings with each location-insensitive key
+(:attr:`repro.lint.core.Finding.baseline_key`) are tolerated.  Runs
+then report only *new* findings: a finding is absorbed by the baseline
+while its key has remaining quota, so moving grandfathered code around
+(line churn) does not re-flag it, but adding a second instance of the
+same sin does.
+
+The repo-hygiene test (``tests/test_repo_hygiene.py``) holds the other
+end of the ratchet: per-rule totals in the committed baseline may only
+go *down* over time, and the tree must be clean modulo the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import LintError
+from repro.lint.core import Finding
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Per-rule quotas of tolerated findings, keyed by ``path::message``."""
+
+    entries: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        entries: Dict[str, Dict[str, int]] = {}
+        for finding in findings:
+            per_rule = entries.setdefault(finding.rule_id, {})
+            per_rule[finding.baseline_key] = (
+                per_rule.get(finding.baseline_key, 0) + 1
+            )
+        return cls(entries=entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise LintError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(raw, dict) or raw.get("version") != _VERSION:
+            raise LintError(
+                f"baseline {path} has unsupported format "
+                f"(expected version {_VERSION})"
+            )
+        entries = raw.get("entries", {})
+        if not isinstance(entries, dict):
+            raise LintError(f"baseline {path}: 'entries' must be an object")
+        clean: Dict[str, Dict[str, int]] = {}
+        for rule_id, keyed in entries.items():
+            if not isinstance(keyed, dict) or not all(
+                isinstance(v, int) and v > 0 for v in keyed.values()
+            ):
+                raise LintError(
+                    f"baseline {path}: rule {rule_id!r} entries must map "
+                    "finding keys to positive counts"
+                )
+            clean[rule_id] = dict(keyed)
+        return cls(entries=clean)
+
+    def save(self, path: Path) -> None:
+        doc = {
+            "version": _VERSION,
+            "tool": "pocolint",
+            "entries": {
+                rule_id: dict(sorted(keyed.items()))
+                for rule_id, keyed in sorted(self.entries.items())
+            },
+        }
+        path.write_text(
+            json.dumps(doc, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+        )
+
+    def counts_per_rule(self) -> Dict[str, int]:
+        """Total tolerated findings per rule — the hygiene ratchet reads this."""
+        return {
+            rule_id: sum(keyed.values())
+            for rule_id, keyed in sorted(self.entries.items())
+        }
+
+    def filter(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split findings into (new, grandfathered) against the quotas."""
+        used: Counter = Counter()
+        new: List[Finding] = []
+        old: List[Finding] = []
+        for finding in findings:
+            quota = self.entries.get(finding.rule_id, {}).get(
+                finding.baseline_key, 0
+            )
+            slot = (finding.rule_id, finding.baseline_key)
+            if used[slot] < quota:
+                used[slot] += 1
+                old.append(finding)
+            else:
+                new.append(finding)
+        return new, old

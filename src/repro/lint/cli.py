@@ -1,0 +1,189 @@
+"""``python -m repro.lint`` — the pocolint command line.
+
+Exit codes follow the convention CI expects:
+
+* ``0`` — no new findings (clean, or everything absorbed by the baseline);
+* ``1`` — at least one new finding;
+* ``2`` — usage or internal error (unparseable file, bad baseline, ...).
+
+``--format=text`` (default) prints one ``path:line:col: CODE[rule]
+message`` line per finding plus a summary; ``--format=json`` emits a
+machine-readable document with per-rule counts.  ``--write-baseline``
+records the current findings as the new baseline instead of failing on
+them — the hygiene ratchet in ``tests/test_repo_hygiene.py`` keeps that
+honest by refusing baselines that grow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.errors import LintError
+from repro.lint.baseline import Baseline
+from repro.lint.core import Finding, all_rules, get_rule, lint_paths
+
+#: Baseline file picked up automatically when present in the CWD.
+DEFAULT_BASELINE = Path("lint-baseline.json")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "pocolint: domain-aware static analysis for the Pocolo "
+            "reproduction (unit safety, determinism, pickle/parallel "
+            "safety, exception policy)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE} when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file, report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="ID[,ID...]",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _select_rules(spec: Optional[str]) -> List:
+    if spec is None:
+        return all_rules()
+    return [get_rule(rule_id.strip()) for rule_id in spec.split(",") if rule_id.strip()]
+
+
+def _resolve_baseline_path(args: argparse.Namespace) -> Optional[Path]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return args.baseline
+    if DEFAULT_BASELINE.is_file() or args.write_baseline:
+        return DEFAULT_BASELINE
+    return None
+
+
+def _render_text(
+    new: List[Finding], old: List[Finding], stream=None
+) -> None:
+    stream = stream if stream is not None else sys.stdout
+    for finding in new:
+        print(finding.render(), file=stream)
+    if new:
+        noun = "finding" if len(new) == 1 else "findings"
+        suffix = f" ({len(old)} grandfathered by baseline)" if old else ""
+        print(f"pocolint: {len(new)} new {noun}{suffix}", file=stream)
+    else:
+        suffix = f" ({len(old)} grandfathered by baseline)" if old else ""
+        print(f"pocolint: clean{suffix}", file=stream)
+
+
+def _render_json(
+    new: List[Finding], old: List[Finding], stream=None
+) -> None:
+    stream = stream if stream is not None else sys.stdout
+    counts: dict = {}
+    for finding in new:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    doc = {
+        "tool": "pocolint",
+        "new_findings": [
+            {
+                "rule": f.rule_id,
+                "code": f.code,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in new
+        ],
+        "grandfathered": len(old),
+        "counts": dict(sorted(counts.items())),
+        "clean": not new,
+    }
+    json.dump(doc, stream, indent=2)
+    print(file=stream)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        rules = _select_rules(args.rules)
+        if args.list_rules:
+            for rule in rules:
+                print(f"{rule.code}  {rule.rule_id:<18} {rule.summary}")
+            return 0
+        baseline_path = _resolve_baseline_path(args)
+        # Baseline keys are ``path::message`` with paths relative to the
+        # baseline file's directory, so a run from any CWD (e.g. CI at
+        # the repo root, a developer inside src/) matches the same keys.
+        if baseline_path is not None:
+            root = baseline_path.resolve().parent
+        else:
+            root = Path.cwd()
+        findings = lint_paths(
+            [Path(p).resolve() for p in args.paths], rules=rules, root=root
+        )
+        if args.write_baseline:
+            if baseline_path is None:  # pragma: no cover - argparse default
+                raise LintError("--write-baseline needs a baseline path")
+            Baseline.from_findings(findings).save(baseline_path)
+            per_rule = Baseline.from_findings(findings).counts_per_rule()
+            total = sum(per_rule.values())
+            print(
+                f"pocolint: wrote {total} finding(s) to {baseline_path}",
+                file=sys.stderr,
+            )
+            return 0
+        if baseline_path is not None and baseline_path.is_file():
+            new, old = Baseline.load(baseline_path).filter(findings)
+        else:
+            new, old = list(findings), []
+    except LintError as exc:
+        print(f"pocolint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        _render_json(new, old)
+    else:
+        _render_text(new, old)
+    return 1 if new else 0

@@ -1,0 +1,233 @@
+"""pocolint visitor core: findings, rule registry, suppressions, drivers.
+
+A *rule* is a class with a stable ``rule_id`` (the name used in
+``# pocolint: disable=<rule>`` comments), a short ``code`` (``POCOxxx``,
+used in report lines), and a ``check`` method that yields
+:class:`Finding` objects for one parsed module.  Rules are registered in
+a module-level registry so the CLI, the test suite and the repo-hygiene
+gate all see the same rule set.
+
+Determinism of the linter itself is part of the contract: findings are
+always reported sorted by ``(path, line, col, rule_id)`` and directory
+walks are sorted, so two runs over the same tree produce byte-identical
+output.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+
+from repro.errors import LintError
+
+#: Matches ``# pocolint: disable=rule-a,rule-b`` (or ``disable=all``).
+_SUPPRESS_RE = re.compile(r"#\s*pocolint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One reported violation, anchored to a source location."""
+
+    rule_id: str
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def baseline_key(self) -> str:
+        """Location-insensitive identity used for baseline matching.
+
+        Line numbers churn on unrelated edits, so grandfathered findings
+        are keyed by ``path::message`` (the message embeds the offending
+        symbol, which is stable) rather than by exact coordinates.
+        """
+        return f"{self.path}::{self.message}"
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code}[{self.rule_id}] {self.message}"
+        )
+
+
+@dataclass
+class LintContext:
+    """Per-file state shared by every rule: source text and suppressions."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    suppressed: Dict[int, frozenset] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, source: str, path: str) -> "LintContext":
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            raise LintError(f"{path}: cannot parse: {exc}") from exc
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            suppressed=_collect_suppressions(source),
+        )
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        rules = self.suppressed.get(finding.line)
+        if rules is None:
+            return False
+        return "all" in rules or finding.rule_id in rules
+
+
+def _collect_suppressions(source: str) -> Dict[int, frozenset]:
+    """Map line number -> rule ids disabled on that physical line.
+
+    Comments are found with :mod:`tokenize` rather than a per-line regex
+    so that ``pocolint: disable`` *inside a string literal* does not
+    suppress anything.
+    """
+    suppressed: Dict[int, frozenset] = {}
+    lines = source.splitlines(keepends=True)
+    readline = iter(lines).__next__
+    try:
+        tokens = list(tokenize.generate_tokens(readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return suppressed
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(tok.string)
+        if match is None:
+            continue
+        names = frozenset(
+            name.strip() for name in match.group(1).split(",") if name.strip()
+        )
+        if names:
+            suppressed[tok.start[0]] = names
+    return suppressed
+
+
+class Rule:
+    """Base class for pocolint rules.
+
+    Subclasses set ``rule_id`` (kebab-case slug, used for suppression
+    and baselines), ``code`` (``POCOxxx``), a one-line ``summary``, and
+    implement :meth:`check`.
+    """
+
+    rule_id: str = ""
+    code: str = ""
+    summary: str = ""
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: LintContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            code=self.code,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.rule_id or not rule_cls.code:
+        raise LintError(
+            f"rule {rule_cls.__name__} must define rule_id and code"
+        )
+    existing = _REGISTRY.get(rule_cls.rule_id)
+    if existing is not None and existing is not rule_cls:
+        raise LintError(f"duplicate rule id {rule_cls.rule_id!r}")
+    _REGISTRY[rule_cls.rule_id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Instantiate every registered rule, sorted by code for stable output."""
+    return [
+        _REGISTRY[rule_id]()
+        for rule_id in sorted(_REGISTRY, key=lambda r: _REGISTRY[r].code)
+    ]
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise LintError(f"unknown rule {rule_id!r} (known: {known})") from None
+
+
+def _sorted_findings(findings: Iterable[Finding]) -> List[Finding]:
+    return sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.rule_id, f.message)
+    )
+
+
+def lint_source(
+    source: str, path: str = "<string>", rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Lint one source string; returns sorted, suppression-filtered findings."""
+    ctx = LintContext.from_source(source, path)
+    active = list(rules) if rules is not None else all_rules()
+    findings: List[Finding] = []
+    for rule in active:
+        for finding in rule.check(ctx):
+            if not ctx.is_suppressed(finding):
+                findings.append(finding)
+    return _sorted_findings(findings)
+
+
+def lint_file(
+    path: Path, rules: Optional[Sequence[Rule]] = None, root: Optional[Path] = None
+) -> List[Finding]:
+    """Lint one file; ``root`` relativizes the reported path when given."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"cannot read {path}: {exc}") from exc
+    shown = path
+    if root is not None:
+        try:
+            shown = path.relative_to(root)
+        except ValueError:
+            shown = path
+    return lint_source(source, path=shown.as_posix(), rules=rules)
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``*.py`` files."""
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py") if p.is_file())
+        elif path.is_file():
+            yield path
+        else:
+            raise LintError(f"no such file or directory: {path}")
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    root: Optional[Path] = None,
+) -> List[Finding]:
+    """Lint every ``*.py`` under ``paths`` (files or directories)."""
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path, rules=rules, root=root))
+    return _sorted_findings(findings)

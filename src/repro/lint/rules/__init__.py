@@ -1,0 +1,24 @@
+"""Built-in pocolint rule families.
+
+Importing this package registers every rule with the core registry;
+:func:`repro.lint.all_rules` then returns them sorted by code:
+
+* POCO101 ``unit-mixing`` — :mod:`repro.lint.rules.units`
+* POCO201 ``nondeterminism`` — :mod:`repro.lint.rules.determinism`
+* POCO301 ``pool-closure`` — :mod:`repro.lint.rules.parallel_safety`
+* POCO401 ``exception-policy`` — :mod:`repro.lint.rules.exceptions`
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules.determinism import NondeterminismRule
+from repro.lint.rules.exceptions import ExceptionPolicyRule
+from repro.lint.rules.parallel_safety import PoolClosureRule
+from repro.lint.rules.units import UnitMixingRule
+
+__all__ = [
+    "ExceptionPolicyRule",
+    "NondeterminismRule",
+    "PoolClosureRule",
+    "UnitMixingRule",
+]

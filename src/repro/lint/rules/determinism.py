@@ -1,0 +1,162 @@
+"""POCO201 ``nondeterminism`` — clock and ambient-RNG bans.
+
+The engine layer's contract (docs/ENGINE.md, PR 2) is that the
+vectorized and process-parallel paths are *bit-identical* to their
+serial oracles.  That only holds when no code path reads entropy the
+serial oracle would not: wall clocks, the process-global ``random``
+module, numpy's legacy global RNG, or an unseeded generator.  All
+randomness must thread an explicitly seeded ``numpy.random.Generator``
+(the way ``evaluation/`` and ``sim/`` already do, via ``SimConfig.seed``).
+
+Flagged:
+
+* ``time.time()`` / ``time.time_ns()`` / ``time.perf_counter()`` /
+  ``time.monotonic()`` (and ``_ns`` variants) — wall-clock reads;
+* ``datetime.now()`` / ``datetime.utcnow()`` / ``datetime.today()`` /
+  ``date.today()`` — wall-clock reads, with or without a tz argument;
+* any call into the stdlib ``random`` module (``random.random()``,
+  ``random.seed()``, …) — ambient process-global state; an *argless*
+  ``random.Random()`` is flagged as unseeded while ``random.Random(seed)``
+  is allowed;
+* any call into numpy's legacy global RNG (``np.random.normal``,
+  ``np.random.seed``, …);
+* ``np.random.default_rng()`` and bit-generator constructors
+  (``PCG64()``, ``Philox()``, …) *without* a seed argument.
+
+Import aliasing is resolved (``import numpy as np``,
+``from numpy.random import default_rng``, ``from time import time``),
+so renaming an import does not evade the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from repro.lint.core import Finding, LintContext, Rule, register
+
+#: Fully-qualified callables that read a wall clock.
+_CLOCK_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.perf_counter": "wall-clock read",
+    "time.perf_counter_ns": "wall-clock read",
+    "time.monotonic": "wall-clock read",
+    "time.monotonic_ns": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+}
+
+#: numpy.random callables that are legitimate *when given a seed*.
+_SEEDABLE_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.Philox",
+    "numpy.random.MT19937",
+    "numpy.random.SFC64",
+}
+
+
+def _dotted_name(node: ast.expr) -> Optional[str]:
+    """``np.random.normal`` -> ``"np.random.normal"`` (or None)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _collect_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the fully-qualified things they import."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return aliases
+
+
+def _resolve(dotted: str, aliases: Dict[str, str]) -> str:
+    """Rewrite the leading segment through the import alias map."""
+    head, _, rest = dotted.partition(".")
+    full_head = aliases.get(head, head)
+    return f"{full_head}.{rest}" if rest else full_head
+
+
+@register
+class NondeterminismRule(Rule):
+    rule_id = "nondeterminism"
+    code = "POCO201"
+    summary = (
+        "no wall clocks or ambient RNG; all randomness threads an "
+        "explicitly seeded numpy Generator"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        aliases = _collect_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted is None:
+                continue
+            full = _resolve(dotted, aliases)
+            yield from self._check_call(ctx, node, dotted, full)
+
+    def _check_call(
+        self, ctx: LintContext, node: ast.Call, dotted: str, full: str
+    ) -> Iterator[Finding]:
+        has_args = bool(node.args or node.keywords)
+        if full in _CLOCK_CALLS:
+            yield self.finding(
+                ctx,
+                node,
+                f"{dotted}() is a {_CLOCK_CALLS[full]}; derive time from "
+                "the simulation clock, not the host",
+            )
+            return
+        if full == "random.Random":
+            if not has_args:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{dotted}() constructs an unseeded RNG; pass an "
+                    "explicit seed",
+                )
+            return
+        if full.startswith("random."):
+            yield self.finding(
+                ctx,
+                node,
+                f"{dotted}() uses the process-global random module; thread "
+                "an explicitly seeded generator instead",
+            )
+            return
+        if full in _SEEDABLE_CONSTRUCTORS:
+            if not has_args:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{dotted}() constructs an unseeded generator; pass an "
+                    "explicit seed (e.g. default_rng(config.seed))",
+                )
+            return
+        if full.startswith("numpy.random.") and full != "numpy.random.Generator":
+            yield self.finding(
+                ctx,
+                node,
+                f"{dotted}() uses numpy's global legacy RNG; use an "
+                "explicitly seeded numpy.random.Generator",
+            )

@@ -1,0 +1,256 @@
+"""POCO101 ``unit-mixing`` — additive unit safety for the power budget.
+
+The paper accounts power *additively in watts*
+(``P_static + sum_j r_j * p_j <= Power``), and this codebase encodes
+units in identifier suffixes: ``provisioned_power_w`` (watts),
+``energy_joules`` (joules), ``duration_s`` (seconds), ``freq_ghz``
+(GHz), ``energy_kwh`` / ``energy_usd``.  This rule infers a unit for
+every expression from those suffixes and flags the operations that are
+only meaningful between like units:
+
+* ``+`` / ``-`` (and ``+=`` / ``-=``) between different units;
+* comparisons (``<``, ``<=``, ``>``, ``>=``, ``==``, ``!=``) between
+  different units;
+* assigning an expression of one unit to a name suffixed with another;
+* passing an expression of one unit to a keyword parameter suffixed
+  with another (``run(power_w=energy_joules)``).
+
+Multiplication and division *derive* units, so the inference follows
+the three conversions the power/energy domain actually uses —
+``watts * seconds -> joules``, ``joules / seconds -> watts``,
+``joules / watts -> seconds`` — and treats a same-unit ratio
+(``power_w / capacity_w``) as dimensionless.  Everything else becomes
+*unknown* and is never flagged: the rule only reports when **both**
+sides carry a known, different unit, so it has no opinion about
+untagged code.
+
+Domain caveat baked in: short stems are *index* names, not units.  The
+paper's own notation puts ``p_j`` (power of app *j*) and ``a_j``
+(elasticity of app *j*) into the code, and ``apps/catalog.py`` uses
+``a_w`` for the per-*way* elasticity — so suffixes on single-letter
+stems (``p_j``, ``a_w``) and on reduction words (``sum_j``,
+``alpha_j``) carry no unit.  See docs/LINTING.md.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.core import Finding, LintContext, Rule, register
+
+#: identifier suffix -> canonical unit name
+SUFFIX_UNITS = {
+    "w": "watts",
+    "watts": "watts",
+    "j": "joules",
+    "joules": "joules",
+    "kwh": "kilowatt_hours",
+    "ghz": "gigahertz",
+    "hz": "hertz",
+    "s": "seconds",
+    "secs": "seconds",
+    "seconds": "seconds",
+    "ms": "milliseconds",
+    "usd": "dollars",
+}
+
+#: Stems that make a suffix an *index*, not a unit: the paper's
+#: per-app subscript ``j`` (``p_j``, ``r_j``), per-resource subscripts
+#: (``a_w`` = ways, ``a_c`` = cores), and reduction/loop words.
+INDEX_STEMS = frozenset(
+    {"sum", "prod", "alpha", "beta", "pref", "idx", "arg", "num", "min", "max"}
+)
+
+#: (unit_left, op, unit_right) -> derived unit for * and /.
+_DERIVATIONS = {
+    ("watts", "*", "seconds"): "joules",
+    ("seconds", "*", "watts"): "joules",
+    ("joules", "/", "seconds"): "watts",
+    ("joules", "/", "watts"): "seconds",
+}
+
+#: Builtins that return a value of their argument's unit.
+_UNIT_PRESERVING_CALLS = frozenset({"abs", "min", "max", "sum", "round", "float"})
+
+
+def unit_of_name(identifier: str) -> Optional[str]:
+    """Infer a unit from an identifier's trailing ``_<suffix>``."""
+    if "_" not in identifier:
+        return None
+    if "_per_" in identifier:
+        # ``power_infra_usd_per_w`` is a *rate* (dollars/watt), not
+        # watts — compound units are outside the suffix vocabulary.
+        return None
+    stem, _, suffix = identifier.rpartition("_")
+    unit = SUFFIX_UNITS.get(suffix)
+    if unit is None:
+        return None
+    stem = stem.lstrip("_")
+    if len(stem) <= 1 or stem in INDEX_STEMS:
+        return None
+    return unit
+
+
+def _callable_name(func: ast.expr) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def infer_unit(node: ast.expr) -> Optional[str]:
+    """Best-effort unit of an expression; ``None`` means unknown."""
+    if isinstance(node, ast.Name):
+        return unit_of_name(node.id)
+    if isinstance(node, ast.Attribute):
+        return unit_of_name(node.attr)
+    if isinstance(node, ast.Subscript):
+        return infer_unit(node.value)
+    if isinstance(node, ast.Starred):
+        return infer_unit(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        return infer_unit(node.operand)
+    if isinstance(node, ast.Call):
+        name = _callable_name(node.func)
+        if name in _UNIT_PRESERVING_CALLS and node.args:
+            return infer_unit(node.args[0])
+        if name is not None:
+            return unit_of_name(name)
+        return None
+    if isinstance(node, ast.IfExp):
+        left = infer_unit(node.body)
+        right = infer_unit(node.orelse)
+        return left if left == right else None
+    if isinstance(node, ast.BinOp):
+        left = infer_unit(node.left)
+        right = infer_unit(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            # Mixed additions are reported by the visitor; for inference
+            # purposes a known operand dominates an unknown one
+            # (``power_w + 0.5`` is still watts).
+            if left == right:
+                return left
+            return left if right is None else right if left is None else None
+        if isinstance(node.op, (ast.Mult, ast.Div)):
+            op = "*" if isinstance(node.op, ast.Mult) else "/"
+            if left is not None and right is not None:
+                if left == right:
+                    # ratio of like units is dimensionless; a product of
+                    # like units has no suffix vocabulary here.
+                    return None
+                return _DERIVATIONS.get((left, op, right))
+            # Scaling by a literal number keeps the unit; an *unknown*
+            # operand (an untagged variable, a compound rate) does not —
+            # it may carry a dimension of its own.
+            if left is not None and _is_literal_number(node.right):
+                return left
+            if (
+                right is not None
+                and isinstance(node.op, ast.Mult)
+                and _is_literal_number(node.left)
+            ):
+                return right
+            return None
+    return None
+
+
+def _is_literal_number(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    )
+
+
+@register
+class UnitMixingRule(Rule):
+    rule_id = "unit-mixing"
+    code = "POCO101"
+    summary = (
+        "watts/joules/seconds/GHz-suffixed expressions may only be added, "
+        "compared or assigned to like units"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._check_pair(
+                    ctx, node, node.left, node.right, "arithmetic"
+                )
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._check_pair(
+                    ctx, node, node.target, node.value, "augmented assignment"
+                )
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for left, right in zip(operands, operands[1:]):
+                    yield from self._check_pair(
+                        ctx, node, left, right, "comparison"
+                    )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, (ast.Name, ast.Attribute)):
+                        yield from self._check_pair(
+                            ctx, node, target, node.value, "assignment"
+                        )
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, (ast.Name, ast.Attribute)):
+                    yield from self._check_pair(
+                        ctx, node, node.target, node.value, "assignment"
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_keywords(ctx, node)
+
+    def _check_pair(
+        self,
+        ctx: LintContext,
+        node: ast.AST,
+        left: ast.expr,
+        right: ast.expr,
+        what: str,
+    ) -> Iterator[Finding]:
+        lu = infer_unit(left)
+        ru = infer_unit(right)
+        if lu is not None and ru is not None and lu != ru:
+            yield self.finding(
+                ctx,
+                node,
+                f"{what} mixes {lu} ({_describe(left)}) with "
+                f"{ru} ({_describe(right)})",
+            )
+
+    def _check_keywords(
+        self, ctx: LintContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            expected = unit_of_name(keyword.arg)
+            if expected is None:
+                continue
+            actual = infer_unit(keyword.value)
+            if actual is not None and actual != expected:
+                yield self.finding(
+                    ctx,
+                    keyword.value,
+                    f"keyword argument {keyword.arg}= expects {expected} "
+                    f"but receives {actual} ({_describe(keyword.value)})",
+                )
+
+
+def _describe(node: ast.expr) -> str:
+    """A short, stable spelling of the offending expression."""
+    text = ast.unparse(node)
+    if len(text) > 40:
+        text = text[:37] + "..."
+    return text

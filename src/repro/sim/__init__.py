@@ -27,9 +27,9 @@ from repro.sim.timeshare import (
     FcfsScheduler,
     RoundRobinScheduler,
     SjfScheduler,
+    TimeSharedColocationSim,
     TimeShareResult,
     TimeShareScheduler,
-    TimeSharedColocationSim,
 )
 
 __all__ = [

@@ -23,13 +23,14 @@ from repro.apps.best_effort import BestEffortApp
 from repro.apps.latency_critical import LatencyCriticalApp
 from repro.core.placement import assign_with_fallback
 from repro.core.server_manager import ServerManagerBase
-from repro.engine.parallel import map_ordered
+from repro.engine.parallel import CellKey, map_ordered
 from repro.errors import ConfigError
 from repro.faults.cluster import (
     ClusterFaultPlan,
     ClusterFaultReport,
     Replacement,
 )
+from repro.faults.schedule import FaultSchedule
 from repro.hwmodel.server import Server
 from repro.hwmodel.spec import ServerSpec
 from repro.sim.colocation import (
@@ -144,7 +145,7 @@ def _run_cell(
     duration_s: float,
     config: SimConfig,
     be_app: Optional[BestEffortApp],
-    faults=None,
+    faults: Optional[FaultSchedule] = None,
 ) -> LevelOutcome:
     """One fresh (server, level) steady-state colocation cell."""
     server = build_colocated_server(
@@ -180,8 +181,8 @@ def _cell_key(
     duration_s: float,
     config: SimConfig,
     be_app: Optional[BestEffortApp],
-    faults,
-):
+    faults: Optional[FaultSchedule],
+) -> CellKey:
     """Identity of one cell for deduplication.
 
     Two cells with equal keys run the exact same simulation:

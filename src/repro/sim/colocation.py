@@ -159,7 +159,11 @@ class ColocationSim:
         energy = EnergyCounter()
         primary = self.server.primary_tenant()
         be = self.server.secondary_tenant()
-        assert primary is not None
+        if primary is None:
+            raise SimulationError(
+                f"server {self.server.name!r} lost its primary tenant before "
+                "the colocation run started"
+            )
 
         n_warmup = int(round(cfg.warmup_s / cfg.control_interval_s))
         n_ticks = int(round(duration_s / cfg.control_interval_s))

@@ -208,7 +208,11 @@ class TimeSharedColocationSim:
         cfg = self.config
         telemetry = Telemetry()
         primary = self.server.primary_tenant()
-        assert primary is not None
+        if primary is None:
+            raise SimulationError(
+                f"server {self.server.name!r} lost its primary tenant before "
+                "the time-share run started"
+            )
         subticks = int(round(cfg.control_interval_s / cfg.power_interval_s))
         n_ticks = int(round(max_duration_s / cfg.control_interval_s))
         violations = 0

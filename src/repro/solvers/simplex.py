@@ -19,7 +19,7 @@ permutation matrix — which the assignment wrapper in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -139,7 +139,9 @@ def solve_lp(
     )
 
 
-def _as_constraints(a, b, n: int, kind: str):
+def _as_constraints(
+    a: Optional[Sequence], b: Optional[Sequence], n: int, kind: str
+) -> Tuple[np.ndarray, np.ndarray]:
     if a is None and b is None:
         return np.zeros((0, n)), np.zeros(0)
     if a is None or b is None:

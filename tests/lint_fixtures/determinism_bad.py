@@ -1,0 +1,18 @@
+"""Fixture: every call here is banned entropy (POCO201 must flag each)."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def sample_everything():
+    stamp = time.time()
+    now = datetime.now()
+    ambient = random.random()
+    legacy = np.random.normal(0.0, 1.0)
+    unseeded = np.random.default_rng()
+    unseeded_bitgen = np.random.PCG64()
+    unseeded_stdlib = random.Random()
+    return stamp, now, ambient, legacy, unseeded, unseeded_bitgen, unseeded_stdlib

@@ -1,0 +1,22 @@
+"""Fixture: exception-policy violations (POCO401 must flag each)."""
+
+
+def validate(x):
+    assert x > 0
+    if x > 10:
+        raise ValueError("too big")
+    return x
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:
+        return None
+
+
+def bare(fn):
+    try:
+        return fn()
+    except:  # noqa: E722
+        return None

@@ -1,0 +1,25 @@
+"""Fixture: policy-clean twin of exceptions_bad (POCO401 silent)."""
+
+from repro.errors import ConfigError, SimulationError
+
+
+def validate(x):
+    if x <= 0:
+        raise ConfigError("x must be positive")
+    if x > 10:
+        raise SimulationError("x exceeded the simulated range")
+    return x
+
+
+def rewrap(fn):
+    try:
+        return fn()
+    except ValueError as exc:
+        raise SimulationError("fn rejected its input") from exc
+
+
+def reraise(fn):
+    try:
+        return fn()
+    except Exception:
+        raise

@@ -1,0 +1,22 @@
+"""Fixture: unpicklable callables into pools (POCO301 must flag each)."""
+
+from repro.engine.parallel import map_ordered
+
+
+def run_all(tasks, pool):
+    doubled = map_ordered(lambda t: t * 2, tasks)
+
+    def cell(task):
+        return task
+
+    nested = map_ordered(cell, tasks)
+    future = pool.submit(lambda: 1)
+    return doubled, nested, future
+
+
+class Sweeper:
+    def run_cells(self, tasks, executor):
+        return executor.map(self.one_cell, tasks)
+
+    def one_cell(self, task):
+        return task

@@ -1,0 +1,18 @@
+"""Fixture: picklable twin of parallel_bad (POCO301 must stay silent)."""
+
+from functools import partial
+
+from repro.engine.parallel import map_ordered
+
+
+def one_cell(task):
+    return task
+
+
+def run_all(tasks, pool, series):
+    plain = map_ordered(one_cell, tasks)
+    bound_args = map_ordered(partial(one_cell, 1), tasks)
+    future = pool.submit(one_cell, 1)
+    # `.map` on a non-pool receiver is out of scope for the rule.
+    mapped = series.map(lambda v: v + 1)
+    return plain, bound_args, future, mapped

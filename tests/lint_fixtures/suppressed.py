@@ -1,0 +1,17 @@
+"""Fixture: violations silenced by inline suppression comments."""
+
+import time
+
+
+def stamp():
+    return time.time()  # pocolint: disable=nondeterminism
+
+
+def stamp_all():
+    return time.time()  # pocolint: disable=all
+
+
+def not_suppressed():
+    # A suppression inside a string literal must not count:
+    marker = "# pocolint: disable=nondeterminism"
+    return time.time(), marker

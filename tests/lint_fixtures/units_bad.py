@@ -1,0 +1,15 @@
+"""Fixture: every statement here mixes units (POCO101 must flag each)."""
+
+
+def broken_budget(idle_power_w, energy_joules, duration_s, budget_w):
+    bad_sum_w = idle_power_w + energy_joules
+    over = energy_joules > budget_w
+    headroom_w = budget_w - duration_s
+    total_joules = idle_power_w
+    bad_sum_w += duration_s
+    simulate(power_cap_w=energy_joules)
+    return bad_sum_w, over, headroom_w, total_joules
+
+
+def simulate(power_cap_w):
+    return power_cap_w

@@ -13,7 +13,7 @@ from repro.apps.base import (
     saturate,
 )
 from repro.errors import ConfigError
-from repro.hwmodel.spec import Allocation, ServerSpec
+from repro.hwmodel.spec import Allocation
 
 
 class TestSaturation:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.admission import AdmissionController, AdmissionDecision
+from repro.core.admission import AdmissionController
 from repro.errors import ConfigError
 
 

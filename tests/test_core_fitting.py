@@ -1,6 +1,5 @@
 """Tests for repro.core.fitting: log-linear regression and R²."""
 
-import math
 
 import numpy as np
 import pytest

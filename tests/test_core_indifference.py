@@ -15,7 +15,6 @@ from repro.core.utility import (
     LinearPowerParams,
 )
 from repro.errors import ConfigError
-from repro.hwmodel.spec import ServerSpec
 
 
 @pytest.fixture()

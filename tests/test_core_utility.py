@@ -1,8 +1,6 @@
 """Tests for repro.core.utility: the Cobb-Douglas indirect utility engine."""
 
-import math
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -14,7 +12,7 @@ from repro.core.utility import (
     integer_min_power_allocation,
 )
 from repro.errors import CapacityError, ConfigError
-from repro.hwmodel.spec import Allocation, ServerSpec
+from repro.hwmodel.spec import Allocation
 
 
 @pytest.fixture()

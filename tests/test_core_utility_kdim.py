@@ -100,5 +100,5 @@ class TestKDimensionalClosedForms:
     def test_expansion_path_is_a_ray_in_k_dims(self, model, budget):
         lo = model.least_power_allocation(0.5)
         hi = model.least_power_allocation(5.0)
-        ratios = [h / l for l, h in zip(lo, hi)]
+        ratios = [b / a for a, b in zip(lo, hi)]
         assert max(ratios) == pytest.approx(min(ratios), rel=1e-9)

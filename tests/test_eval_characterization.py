@@ -1,6 +1,5 @@
 """Tests for repro.evaluation.characterization: Figs 5, 6, 8, 9-11."""
 
-import math
 
 import pytest
 

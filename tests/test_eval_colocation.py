@@ -1,6 +1,5 @@
 """Tests for repro.evaluation.colocation_eval and ablations (short runs)."""
 
-import math
 
 import pytest
 

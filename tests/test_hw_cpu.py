@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import AllocationError
 from repro.hwmodel.cpu import CoreAllocator, DvfsController
-from repro.hwmodel.spec import ServerSpec
 
 
 @pytest.fixture()

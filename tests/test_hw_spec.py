@@ -1,6 +1,5 @@
 """Tests for repro.hwmodel.spec: ladders, server specs, allocations."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

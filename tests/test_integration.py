@@ -8,7 +8,6 @@ orderings and directions, not absolute numbers.
 import numpy as np
 import pytest
 
-from repro.cost.tco import compare_policies, PolicyOperatingPoint
 from repro.evaluation import (
     evaluate_all_policies,
     fig15_tco,
@@ -16,7 +15,6 @@ from repro.evaluation import (
     placement_for_policy,
     run_policy,
 )
-from repro.sim.colocation import SimConfig
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,197 @@
+"""Per-rule fixture tests for pocolint (repro.lint).
+
+Each rule family has a bad fixture (every violation style it must
+catch, asserted by exact line) and a good twin exercising the same
+shapes legally (must produce zero findings).  The fixtures live in
+``tests/lint_fixtures/`` and are linted *statically* — they are never
+imported.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import all_rules, get_rule, lint_file, lint_source
+
+FIXTURES = pathlib.Path(__file__).parent / "lint_fixtures"
+
+
+def findings_for(name, rule_id):
+    return lint_file(FIXTURES / name, rules=[get_rule(rule_id)])
+
+
+def lines_of(findings):
+    return [f.line for f in findings]
+
+
+class TestRegistry:
+    def test_four_rule_families_registered(self):
+        rules = all_rules()
+        assert [r.rule_id for r in rules] == [
+            "unit-mixing",
+            "nondeterminism",
+            "pool-closure",
+            "exception-policy",
+        ]
+        assert [r.code for r in rules] == [
+            "POCO101",
+            "POCO201",
+            "POCO301",
+            "POCO401",
+        ]
+
+    def test_unknown_rule_raises_lint_error(self):
+        with pytest.raises(LintError, match="unknown rule"):
+            get_rule("no-such-rule")
+
+
+class TestUnitMixing:
+    def test_bad_fixture_all_violations_found(self):
+        found = findings_for("units_bad.py", "unit-mixing")
+        assert lines_of(found) == [5, 6, 7, 8, 9, 10]
+
+    def test_finding_messages_name_both_units(self):
+        found = findings_for("units_bad.py", "unit-mixing")
+        by_line = {f.line: f.message for f in found}
+        assert "mixes watts (idle_power_w) with joules" in by_line[5]
+        assert "comparison mixes joules" in by_line[6]
+        assert "augmented assignment" in by_line[9]
+        assert "keyword argument power_cap_w= expects watts" in by_line[10]
+
+    def test_good_twin_is_clean(self):
+        assert findings_for("units_good.py", "unit-mixing") == []
+
+    def test_watts_times_seconds_derives_joules(self):
+        src = "energy_joules = power_w * duration_s\n"
+        assert lint_source(src, rules=[get_rule("unit-mixing")]) == []
+
+    def test_joules_over_seconds_derives_watts(self):
+        src = "avg_w = energy_joules / duration_s\n"
+        assert lint_source(src, rules=[get_rule("unit-mixing")]) == []
+
+    def test_unknown_product_is_not_trusted(self):
+        # rate_w_per_s is a compound rate, not seconds — its product
+        # with anything must not inherit the other operand's unit.
+        src = "drift_w = bias_w + rate_w_per_s * elapsed_s\n"
+        assert lint_source(src, rules=[get_rule("unit-mixing")]) == []
+
+    def test_paper_index_suffixes_are_not_units(self):
+        src = "total = p_j + duration_s\nways = a_w + freq_ghz\n"
+        assert lint_source(src, rules=[get_rule("unit-mixing")]) == []
+
+
+class TestNondeterminism:
+    def test_bad_fixture_all_violations_found(self):
+        found = findings_for("determinism_bad.py", "nondeterminism")
+        assert lines_of(found) == [11, 12, 13, 14, 15, 16, 17]
+
+    def test_good_twin_is_clean(self):
+        assert findings_for("determinism_good.py", "nondeterminism") == []
+
+    def test_import_aliasing_is_resolved(self):
+        src = (
+            "from time import time as clock\n"
+            "import numpy.random as nprand\n"
+            "a = clock()\n"
+            "b = nprand.rand(3)\n"
+        )
+        found = lint_source(src, rules=[get_rule("nondeterminism")])
+        assert lines_of(found) == [3, 4]
+
+    def test_seeded_calls_are_allowed(self):
+        src = (
+            "import numpy as np\n"
+            "import random\n"
+            "rng = np.random.default_rng(42)\n"
+            "local = random.Random(7)\n"
+        )
+        assert lint_source(src, rules=[get_rule("nondeterminism")]) == []
+
+    def test_generator_method_calls_are_not_confused_with_module(self):
+        src = "draw = rng.random() + rng.normal()\n"
+        assert lint_source(src, rules=[get_rule("nondeterminism")]) == []
+
+
+class TestPoolClosure:
+    def test_bad_fixture_all_violations_found(self):
+        found = findings_for("parallel_bad.py", "pool-closure")
+        assert lines_of(found) == [7, 12, 13, 19]
+
+    def test_messages_distinguish_the_three_shapes(self):
+        found = findings_for("parallel_bad.py", "pool-closure")
+        by_line = {f.line: f.message for f in found}
+        assert "lambda" in by_line[7]
+        assert "nested function 'cell'" in by_line[12]
+        assert "bound method self.one_cell" in by_line[19]
+
+    def test_good_twin_is_clean(self):
+        assert findings_for("parallel_good.py", "pool-closure") == []
+
+    def test_partial_of_lambda_is_unwrapped(self):
+        src = (
+            "from functools import partial\n"
+            "out = map_ordered(partial(lambda t: t, 1), tasks)\n"
+        )
+        found = lint_source(src, rules=[get_rule("pool-closure")])
+        assert lines_of(found) == [2]
+
+    def test_module_level_name_shadowing_nested_def_not_flagged(self):
+        src = (
+            "def cell(t):\n"
+            "    return t\n"
+            "def run(tasks):\n"
+            "    def cell(t):\n"
+            "        return t\n"
+            "    return map_ordered(cell, tasks)\n"
+        )
+        # `cell` also exists at module level, so static resolution keeps
+        # quiet rather than guessing which one the name binds to.
+        assert lint_source(src, rules=[get_rule("pool-closure")]) == []
+
+
+class TestExceptionPolicy:
+    def test_bad_fixture_all_violations_found(self):
+        found = findings_for("exceptions_bad.py", "exception-policy")
+        assert lines_of(found) == [5, 7, 14, 21]
+
+    def test_good_twin_is_clean(self):
+        assert findings_for("exceptions_good.py", "exception-policy") == []
+
+    def test_new_repro_error_subclasses_are_allowed_automatically(self):
+        # The allowlist is introspected from repro.errors, so every
+        # member of the hierarchy is known without a linter change.
+        src = "from repro.errors import LintError\nraise LintError('x')\n"
+        assert lint_source(src, rules=[get_rule("exception-policy")]) == []
+
+    def test_reraising_caught_variable_is_allowed(self):
+        src = (
+            "try:\n"
+            "    pass\n"
+            "except ValueError as exc:\n"
+            "    raise exc\n"
+        )
+        assert lint_source(src, rules=[get_rule("exception-policy")]) == []
+
+
+class TestSuppression:
+    def test_disable_comment_silences_one_rule(self):
+        found = findings_for("suppressed.py", "nondeterminism")
+        # Lines 7 and 11 are suppressed; line 17 must still fire, and
+        # the string literal on line 16 must not act as a suppression.
+        assert lines_of(found) == [17]
+
+    def test_disable_must_name_the_right_rule(self):
+        src = "import time\nt = time.time()  # pocolint: disable=unit-mixing\n"
+        found = lint_source(src, rules=[get_rule("nondeterminism")])
+        assert lines_of(found) == [2]
+
+
+class TestLinterSelfCheck:
+    def test_pocolint_is_clean_on_its_own_source(self):
+        import repro.lint as lint_pkg
+
+        pkg_dir = pathlib.Path(lint_pkg.__file__).parent
+        from repro.lint import lint_paths
+
+        assert lint_paths([pkg_dir]) == []

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.server_manager import PowerOptimizedManager
 from repro.errors import ConfigError
-from repro.sim.cluster import ClusterRunResult, LevelOutcome, ServerPlan, run_cluster
+from repro.sim.cluster import ClusterRunResult, ServerPlan, run_cluster
 from repro.sim.colocation import SimConfig
 
 

@@ -5,7 +5,6 @@ model against discrete-event ground truth: same monotone blow-up, a
 calibratable knee, SLO-scale latencies near capacity.
 """
 
-import numpy as np
 import pytest
 
 from repro.apps.latency import LatencySlo, TailLatencyModel

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.placement import FleetPlacement, fleet_placement
+from repro.core.placement import fleet_placement
 from repro.errors import ConfigError, SolverError
 from repro.solvers.transportation import (
     greedy_transportation_max,

@@ -11,15 +11,14 @@ isolation story depends on:
 * total power is always idle + the sum of tenant draws (additivity).
 """
 
-import numpy as np
 from hypothesis import settings
+from hypothesis import strategies as st
 from hypothesis.stateful import (
     RuleBasedStateMachine,
     initialize,
     invariant,
     rule,
 )
-from hypothesis import strategies as st
 
 from repro.errors import AllocationError
 from repro.hwmodel.cache import CacheAllocator

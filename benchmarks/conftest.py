@@ -16,6 +16,7 @@ import pathlib
 import pytest
 
 from repro.evaluation import evaluate_all_policies, fit_catalog
+from repro.runtime.atomic import atomic_write_text
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
@@ -42,6 +43,6 @@ def emit():
     def _emit(name: str, text: str) -> None:
         print()
         print(text)
-        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        atomic_write_text(OUT_DIR / f"{name}.txt", text + "\n")
 
     return _emit

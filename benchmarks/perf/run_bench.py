@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import argparse
 import datetime
-import json
 import os
 import pathlib
 import platform
@@ -41,6 +40,7 @@ from repro.engine.vectorized import (
     clear_engine_caches,
 )
 from repro.evaluation.colocation_eval import evaluate_policy
+from repro.runtime.atomic import atomic_write_json
 from repro.workloads.traces import UNIFORM_EVAL_LEVELS
 
 
@@ -184,7 +184,7 @@ def main(argv=None) -> int:
         },
         "scenarios": scenarios,
     }
-    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(out_path, payload)
     for s in scenarios:
         speedup = s.get("speedup")
         print(f"{s['name']:28s} engine {s['engine_s']:8.3f}s"

@@ -11,18 +11,25 @@ Usage::
     python -m repro tco                   # Fig 15 (takes ~1 min)
     python -m repro validate              # fit diagnostics, all apps
     python -m repro admission             # admission boundaries
+    python -m repro run                   # one crash-safe policy sweep
 
 All commands accept ``--seed`` (default 7) for the profiling/fitting
-randomness.  The benchmark harness (``pytest benchmarks/``) remains the
-canonical reproduction path — the CLI is the quick look.
+randomness.  ``run`` additionally takes ``--checkpoint-dir`` and
+``--resume``: with a checkpoint directory the sweep persists completed
+cells as it goes, and a killed run continues where it stopped —
+bit-identical to an uninterrupted one (``docs/RECOVERY.md``).  The
+benchmark harness (``pytest benchmarks/``) remains the canonical
+reproduction path — the CLI is the quick look.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.analysis import format_table
+from repro.errors import ConfigError
 from repro.evaluation import (
     evaluate_all_policies,
     fig15_tco,
@@ -34,10 +41,11 @@ from repro.evaluation import (
     fig9_10_11_preferences,
     fit_catalog,
     placement_for_policy,
+    run_policy,
 )
 
 COMMANDS = ("list", "placement", "preferences", "fit", "motivation",
-            "evaluate", "tco", "validate", "admission")
+            "evaluate", "tco", "validate", "admission", "run")
 
 
 def cmd_list(_catalog, _args) -> None:
@@ -186,6 +194,39 @@ def cmd_tco(catalog, args) -> None:
           {k: f"{v:.1%}" for k, v in ev.savings_of_pocolo.items()})
 
 
+def cmd_run(catalog, args) -> None:
+    if args.resume and not args.checkpoint_dir:
+        raise ConfigError("--resume needs --checkpoint-dir (nothing to resume from)")
+    checkpoint_path = None
+    if args.checkpoint_dir:
+        checkpoint_path = str(
+            Path(args.checkpoint_dir)
+            / f"{args.policy}-seed{args.seed}.ckpt"
+        )
+        print(f"Checkpointing to {checkpoint_path}"
+              + (" (resuming)" if args.resume else ""))
+    result = run_policy(
+        catalog, args.policy, duration_s=args.duration,
+        workers=args.workers, checkpoint_path=checkpoint_path,
+        resume=args.resume, checkpoint_every=args.checkpoint_every,
+    )
+    servers = result.servers()
+    throughput = result.be_throughput_by_server()
+    power = result.power_utilization_by_server()
+    placement = result.be_names_by_server()
+    rows = [
+        [s, placement[s] or "-", throughput[s], power[s]]
+        for s in servers
+    ]
+    print(format_table(
+        ["LC server", "BE app", "BE throughput", "power util"], rows,
+        title=f"\nPolicy {args.policy!r} — per-server operating point",
+    ))
+    print(f"\ncluster BE throughput  {result.cluster_be_throughput():.3f}")
+    print(f"cluster power util     {result.cluster_power_utilization():.3f}")
+    print(f"cluster SLO violations {result.cluster_violation_fraction():.3f}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -196,6 +237,19 @@ def main(argv=None) -> int:
                         help="profiling/fitting seed (default 7)")
     parser.add_argument("--seeds", type=int, default=4,
                         help="random-placement seeds for evaluate/tco")
+    parser.add_argument("--policy", default="pocolo",
+                        choices=("random", "pom", "pocolo", "random-nocap"),
+                        help="policy for the run command (default pocolo)")
+    parser.add_argument("--duration", type=float, default=25.0,
+                        help="seconds of simulated time per cell (run)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool width for the run command")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="directory for the run command's checkpoint file")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue the run from its checkpoint")
+    parser.add_argument("--checkpoint-every", type=int, default=1,
+                        help="cells completed between checkpoint writes")
     args = parser.parse_args(argv)
 
     catalog = fit_catalog(seed=args.seed) if args.command != "list" else None
@@ -209,6 +263,7 @@ def main(argv=None) -> int:
         "tco": cmd_tco,
         "validate": cmd_validate,
         "admission": cmd_admission,
+        "run": cmd_run,
     }[args.command]
     handler(catalog, args)
     return 0

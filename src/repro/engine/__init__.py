@@ -16,11 +16,22 @@ package decides *how fast*.  Three mechanisms, all result-preserving:
   (plan, level) cell once and fan the outcome back out, which is exact
   because every cell is a pure function of its explicit inputs.
 
+On top of the fan-out sits **crash supervision**:
+:class:`repro.engine.parallel.SupervisedPool` rebuilds a broken process
+pool with capped exponential backoff, re-submits only the lost tasks,
+and degrades to serial execution after repeated failures — the engine
+half of the crash-safe runtime (:mod:`repro.runtime`).
+
 ``tests/test_engine_differential.py`` pins all three equivalences;
 ``benchmarks/perf/`` tracks the speedups in ``BENCH_engine.json``.
 """
 
-from repro.engine.parallel import CellKey, map_ordered
+from repro.engine.parallel import (
+    CellKey,
+    SupervisedPool,
+    SupervisorStats,
+    map_ordered,
+)
 from repro.engine.vectorized import (
     ModelGrid,
     build_performance_matrix_vectorized,
@@ -33,6 +44,8 @@ from repro.engine.vectorized import (
 __all__ = [
     "CellKey",
     "ModelGrid",
+    "SupervisedPool",
+    "SupervisorStats",
     "build_performance_matrix_vectorized",
     "cached_spare_capacity",
     "clear_engine_caches",

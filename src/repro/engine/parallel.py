@@ -21,14 +21,41 @@ reproducible:
 can prove two tasks are identical (same key), the function is evaluated
 once per distinct key and the result is fanned back out positionally.
 Purity makes this exact; replicated fleets make it fast.
+
+Failures carry context: a task that raises is re-raised as
+:class:`~repro.errors.ExecutionError` naming the failing task's index
+and arguments, so a mid-batch death points at the exact (plan, level)
+cell instead of an anonymous traceback.
+
+:class:`SupervisedPool` layers *crash supervision* on top: worker
+deaths (SIGKILL, OOM, a hung task) break a ``ProcessPoolExecutor``
+permanently, so the supervisor rebuilds the pool with capped
+exponential backoff and re-submits only the tasks whose results were
+lost — and after repeated failures degrades to ``workers=1``, trading
+speed for certain completion.  Deterministic task exceptions are never
+retried (a pure function fails the same way twice); only infrastructure
+failures are.  See ``docs/RECOVERY.md``.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Hashable, List, Optional, Sequence, Tuple, TypeVar
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ExecutionError
 
 T = TypeVar("T")
 
@@ -36,18 +63,77 @@ T = TypeVar("T")
 #: guaranteed (by the caller) to produce equal results.
 CellKey = Hashable
 
+#: Called as results land: ``on_result(task_index, result)``.  Indices
+#: arrive in submission order within a batch, so a checkpointing caller
+#: always persists a consistent prefix plus stragglers.
+ResultHook = Optional[Callable[[int, T], None]]
 
-def _run_serial(fn: Callable[..., T], tasks: Sequence[Tuple]) -> List[T]:
-    return [fn(*task) for task in tasks]
+_ARG_REPR_LIMIT = 80
+
+
+def _summarize_task(task: Tuple) -> str:
+    """A bounded, human-oriented rendering of one task's arguments."""
+    parts = []
+    for arg in task:
+        text = repr(arg)
+        if len(text) > _ARG_REPR_LIMIT:
+            text = text[: _ARG_REPR_LIMIT - 1] + "…"
+        parts.append(text)
+    return "(" + ", ".join(parts) + ")"
+
+
+def _task_failure(
+    index: int, total: int, fn: Callable[..., T], task: Tuple, exc: Exception
+) -> ExecutionError:
+    """Wrap a deterministic task exception with its index and arguments."""
+    return ExecutionError(
+        f"task {index} of {total} ({getattr(fn, '__name__', fn)!s}) raised "
+        f"{type(exc).__name__}: {exc}; args={_summarize_task(task)}"
+    )
+
+
+def _run_serial(
+    fn: Callable[..., T],
+    tasks: Sequence[Tuple],
+    on_result: ResultHook[T] = None,
+    indices: Optional[Sequence[int]] = None,
+) -> List[T]:
+    """The literal serial loop, with failure context and result hooks."""
+    results: List[T] = []
+    total = len(tasks)
+    for position, task in enumerate(tasks):
+        try:
+            result = fn(*task)
+        except Exception as exc:
+            raise _task_failure(position, total, fn, task, exc) from exc
+        results.append(result)
+        if on_result is not None:
+            index = indices[position] if indices is not None else position
+            on_result(index, result)
+    return results
 
 
 def _run_pool(
     fn: Callable[..., T], tasks: Sequence[Tuple], workers: int
 ) -> List[T]:
     """Submit every task, collect results in submission order."""
+    total = len(tasks)
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [pool.submit(fn, *task) for task in tasks]
-        return [future.result() for future in futures]
+        results: List[T] = []
+        for index, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except BrokenProcessPool as exc:
+                raise ExecutionError(
+                    f"worker pool broke while waiting for task {index} of "
+                    f"{total}; args={_summarize_task(tasks[index])} — a "
+                    "worker died (SIGKILL/OOM).  Use SupervisedPool for "
+                    "automatic pool rebuild and task re-submission"
+                ) from exc
+            except Exception as exc:
+                raise _task_failure(index, total, fn, tasks[index], exc) from exc
+        return results
 
 
 def map_ordered(
@@ -66,6 +152,11 @@ def map_ordered(
     keys are evaluated once and share the result object.  Only pass
     keys for pure functions — the whole point is that re-running an
     identical cell is provably wasted work.
+
+    A task that raises is re-raised as
+    :class:`~repro.errors.ExecutionError` whose message names the
+    failing task's index and arguments (the original exception is
+    chained as ``__cause__``).
     """
     if workers < 1:
         raise ConfigError("workers must be at least 1")
@@ -86,3 +177,202 @@ def map_ordered(
     else:
         unique_results = _run_pool(fn, unique_tasks, workers)
     return [unique_results[first_index[key]] for key in keys]
+
+
+# ----------------------------------------------------------------------
+# Crash supervision
+# ----------------------------------------------------------------------
+
+@dataclass
+class SupervisorStats:
+    """Counters describing how hard the supervisor had to work.
+
+    Mirrors the degradation-counter convention of
+    :class:`~repro.core.server_manager.ManagerStats` /
+    :class:`~repro.hwmodel.capping.CapStats`: zero everywhere on a
+    healthy run, and each nonzero field names the degradation that
+    happened (see ``docs/RECOVERY.md``).
+    """
+
+    tasks_completed: int = 0
+    pool_rebuilds: int = 0
+    tasks_resubmitted: int = 0
+    worker_timeouts: int = 0
+    degraded_to_serial: int = 0
+    backoff_s_total: float = 0.0
+
+
+class SupervisedPool:
+    """An ordered process-pool map that survives worker crashes.
+
+    A ``ProcessPoolExecutor`` whose worker dies abruptly (SIGKILL, OOM
+    kill, a segfaulting extension) is broken forever — every pending
+    future raises :class:`BrokenProcessPool` and the whole sweep is
+    lost.  The supervisor turns that into a bounded retry:
+
+    * results already collected (or completed before the crash) are
+      kept — only *lost* tasks are re-submitted;
+    * the pool is rebuilt with capped exponential backoff
+      (``backoff_base_s * 2**(attempt-1)``, capped at
+      ``backoff_cap_s``);
+    * a task exceeding ``task_timeout_s`` counts as a lost worker (the
+      pool is rebuilt without it);
+    * after ``max_rebuilds`` rebuilds the supervisor stops gambling and
+      runs the remainder serially in-process (``workers=1`` semantics,
+      no timeout) — completion over speed, recorded in
+      ``stats.degraded_to_serial``.
+
+    Deterministic task exceptions (the mapped function raising) are
+    *not* supervised: a pure cell fails identically on every retry, so
+    they propagate immediately as :class:`~repro.errors.ExecutionError`
+    with the task's index and arguments.
+
+    Determinism: results are assembled positionally, so the output list
+    is bit-identical to ``map_ordered`` regardless of crashes, rebuild
+    counts, or completion order.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        max_rebuilds: int = 3,
+        backoff_base_s: float = 0.1,
+        backoff_cap_s: float = 2.0,
+        task_timeout_s: Optional[float] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if workers < 1:
+            raise ConfigError("workers must be at least 1")
+        if max_rebuilds < 0:
+            raise ConfigError("max_rebuilds cannot be negative")
+        if backoff_base_s < 0 or backoff_cap_s < backoff_base_s:
+            raise ConfigError("need 0 <= backoff_base_s <= backoff_cap_s")
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ConfigError("task timeout must be positive (or None)")
+        self.workers = workers
+        self.max_rebuilds = max_rebuilds
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.task_timeout_s = task_timeout_s
+        self._sleep = sleep
+        self.stats = SupervisorStats()
+
+    # ------------------------------------------------------------------
+    def map_ordered(
+        self,
+        fn: Callable[..., T],
+        tasks: Sequence[Tuple],
+        on_result: ResultHook[T] = None,
+    ) -> List[T]:
+        """Run every task to completion, in submission order.
+
+        ``on_result(index, result)`` fires once per task as its result
+        becomes durable — the checkpoint hook.  Indices refer to
+        positions in ``tasks``.
+        """
+        total = len(tasks)
+        collected: Dict[int, T] = {}
+        if self.workers == 1:
+            results = _run_serial(fn, tasks, on_result=on_result)
+            self.stats.tasks_completed += len(results)
+            return results
+        pending = list(range(total))
+        rebuilds = 0
+        while pending:
+            lost = self._run_batch(fn, tasks, pending, collected, on_result)
+            if not lost:
+                break
+            rebuilds += 1
+            self.stats.pool_rebuilds += 1
+            self.stats.tasks_resubmitted += len(lost)
+            if rebuilds > self.max_rebuilds:
+                # The pool keeps dying: stop gambling and finish the
+                # remainder in-process, where nothing can be lost.
+                self.stats.degraded_to_serial += 1
+                serial_results = _run_serial(
+                    fn,
+                    [tasks[i] for i in lost],
+                    on_result=on_result,
+                    indices=lost,
+                )
+                for index, result in zip(lost, serial_results):
+                    collected[index] = result
+                    self.stats.tasks_completed += 1
+                break
+            backoff = min(
+                self.backoff_cap_s,
+                self.backoff_base_s * (2 ** (rebuilds - 1)),
+            )
+            if backoff > 0:
+                self.stats.backoff_s_total += backoff
+                self._sleep(backoff)
+            pending = lost
+        return [collected[i] for i in range(total)]
+
+    # ------------------------------------------------------------------
+    def _run_batch(
+        self,
+        fn: Callable[..., T],
+        tasks: Sequence[Tuple],
+        pending: Sequence[int],
+        collected: Dict[int, T],
+        on_result: ResultHook[T],
+    ) -> List[int]:
+        """One pool generation; returns indices lost to a crash/timeout."""
+        total = len(tasks)
+        pool = ProcessPoolExecutor(max_workers=self.workers)
+        futures: Dict[int, "Future[T]"] = {}
+        broke = False
+        try:
+            for index in pending:
+                futures[index] = pool.submit(fn, *tasks[index])
+            for index in pending:
+                try:
+                    result = futures[index].result(timeout=self.task_timeout_s)
+                except BrokenProcessPool:
+                    broke = True
+                    break
+                except FutureTimeoutError:
+                    self.stats.worker_timeouts += 1
+                    broke = True
+                    break
+                except Exception as exc:
+                    raise _task_failure(
+                        index, total, fn, tasks[index], exc
+                    ) from exc
+                self._collect(index, result, collected, on_result)
+        finally:
+            # A broken/hung pool must not be waited on; a healthy one
+            # has nothing left running.
+            pool.shutdown(wait=not broke, cancel_futures=True)
+        if not broke:
+            return []
+        # Harvest results that finished before the crash — they are
+        # real, deterministic values; only truly lost tasks re-run.
+        lost: List[int] = []
+        for index in pending:
+            if index in collected:
+                continue
+            future = futures.get(index)
+            if (
+                future is not None
+                and future.done()
+                and not future.cancelled()
+                and future.exception() is None
+            ):
+                self._collect(index, future.result(), collected, on_result)
+            else:
+                lost.append(index)
+        return lost
+
+    def _collect(
+        self,
+        index: int,
+        result: T,
+        collected: Dict[int, T],
+        on_result: ResultHook[T],
+    ) -> None:
+        collected[index] = result
+        self.stats.tasks_completed += 1
+        if on_result is not None:
+            on_result(index, result)

@@ -48,3 +48,18 @@ class LintError(ReproError):
     """The static-analysis driver itself failed (unreadable file, bad
     baseline, unknown rule id) — distinct from *findings*, which are
     reported data, not exceptions."""
+
+
+class ExecutionError(ReproError):
+    """A task failed inside the execution engine's fan-out.
+
+    Raised by :func:`repro.engine.parallel.map_ordered` and
+    :class:`repro.engine.parallel.SupervisedPool` when a mapped function
+    raises (the message names the failing task's index and arguments) or
+    when supervision exhausts its restart budget."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is unusable: missing, corrupt (checksum or
+    framing mismatch), written by an unsupported format version, or
+    belonging to a different sweep than the one being resumed."""

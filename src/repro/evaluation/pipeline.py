@@ -245,6 +245,9 @@ def run_policy(
     placement: Optional[PlacementDecision] = None,
     workers: int = 1,
     dedupe: bool = False,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    checkpoint_every: int = 1,
 ) -> ClusterRunResult:
     """Run one policy over the full cluster and load sweep.
 
@@ -254,13 +257,25 @@ def run_policy(
 
     ``workers`` / ``dedupe`` are forwarded to
     :func:`~repro.sim.cluster.run_cluster` — bit-identical execution
-    knobs, not semantic ones.
+    knobs, not semantic ones.  A ``checkpoint_path`` routes the sweep
+    through :func:`repro.runtime.run_cluster_checkpointed` instead:
+    completed cells persist as they land and ``resume=True`` re-runs
+    only the missing ones — still bit-identical (see
+    ``docs/RECOVERY.md``).
     """
     if placement is None:
         placement = placement_for_policy(catalog, policy, seed=seed, levels=levels)
     override = NOCAP_PROVISIONED_W if policy == POLICY_RANDOM_NOCAP else None
     plans = cluster_plans(catalog, placement, policy, provisioned_override_w=override)
     config = sim_config if sim_config is not None else SimConfig(seed=seed)
+    if checkpoint_path is not None:
+        from repro.runtime.sweep import run_cluster_checkpointed
+
+        return run_cluster_checkpointed(
+            plans, catalog.spec, checkpoint_path, levels=levels,
+            duration_s=duration_s, config=config, workers=workers,
+            dedupe=dedupe, resume=resume, checkpoint_every=checkpoint_every,
+        )
     return run_cluster(plans, catalog.spec, levels=levels,
                        duration_s=duration_s, config=config,
                        workers=workers, dedupe=dedupe)

@@ -23,6 +23,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import LintError
 from repro.lint.core import Finding
+from repro.runtime.atomic import atomic_write_json
 
 _VERSION = 1
 
@@ -80,9 +81,7 @@ class Baseline:
                 for rule_id, keyed in sorted(self.entries.items())
             },
         }
-        path.write_text(
-            json.dumps(doc, indent=2, sort_keys=False) + "\n", encoding="utf-8"
-        )
+        atomic_write_json(path, doc)
 
     def counts_per_rule(self) -> Dict[str, int]:
         """Total tolerated findings per rule — the hygiene ratchet reads this."""

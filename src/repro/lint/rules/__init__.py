@@ -7,16 +7,19 @@ Importing this package registers every rule with the core registry;
 * POCO201 ``nondeterminism`` — :mod:`repro.lint.rules.determinism`
 * POCO301 ``pool-closure`` — :mod:`repro.lint.rules.parallel_safety`
 * POCO401 ``exception-policy`` — :mod:`repro.lint.rules.exceptions`
+* POCO501 ``atomic-artifacts`` — :mod:`repro.lint.rules.artifacts`
 """
 
 from __future__ import annotations
 
+from repro.lint.rules.artifacts import AtomicArtifactsRule
 from repro.lint.rules.determinism import NondeterminismRule
 from repro.lint.rules.exceptions import ExceptionPolicyRule
 from repro.lint.rules.parallel_safety import PoolClosureRule
 from repro.lint.rules.units import UnitMixingRule
 
 __all__ = [
+    "AtomicArtifactsRule",
     "ExceptionPolicyRule",
     "NondeterminismRule",
     "PoolClosureRule",

@@ -1,0 +1,85 @@
+"""Atomic artifact writes: write-temp → fsync → rename.
+
+Every durable artifact this repo emits — checkpoints, benchmark JSON,
+report tables, telemetry CSVs, the lint baseline — goes through these
+helpers so that a reader (or a crash) can never observe a half-written
+file: either the old content is still there, or the new content is
+complete.  The recipe is the classic POSIX one:
+
+1. write the full payload to a temporary file *in the target directory*
+   (same filesystem, so the final rename cannot degrade to a copy);
+2. flush and ``fsync`` the temporary file so the bytes are on disk
+   before the name changes;
+3. ``os.replace`` the temporary file over the target — an atomic
+   operation on POSIX and on modern Windows;
+4. best-effort ``fsync`` of the containing directory so the rename
+   itself survives a power cut.
+
+pocolint's POCO501 ``atomic-artifacts`` rule flags direct writes of
+``.json``/``.md`` artifacts elsewhere in ``src/repro`` and points here.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Union
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory's entry table; best-effort on exotic filesystems."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # e.g. Windows, or a filesystem that refuses O_RDONLY dirs
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> Path:
+    """Atomically replace ``path`` with ``data``; returns the target path.
+
+    The temporary file lives next to the target (never ``/tmp``) and is
+    removed on any failure, so an interrupted write leaves the previous
+    artifact byte-for-byte intact and no debris behind.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{target.name}.", suffix=".tmp", dir=target.parent
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    _fsync_directory(target.parent)
+    return target
+
+
+def atomic_write_text(
+    path: PathLike, text: str, encoding: str = "utf-8"
+) -> Path:
+    """Atomically replace ``path`` with ``text`` (see :func:`atomic_write_bytes`)."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(
+    path: PathLike, obj: Any, indent: int = 2, sort_keys: bool = False
+) -> Path:
+    """Atomically serialize ``obj`` as JSON (trailing newline included)."""
+    text = json.dumps(obj, indent=indent, sort_keys=sort_keys) + "\n"
+    return atomic_write_text(path, text)

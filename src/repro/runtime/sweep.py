@@ -1,0 +1,247 @@
+"""Crash-safe cluster sweeps: plan, execute, checkpoint, resume.
+
+The cluster sweep (:func:`repro.sim.cluster.run_cluster`) is a list of
+*pure* cells — each (server plan, load level) colocation is a function
+of its explicit arguments only, with every RNG built inside the cell
+from the config seed.  That purity is the whole recovery story:
+
+1. :func:`repro.sim.cluster.plan_cluster_tasks` decides every cell (and
+   the full fault report) before anything runs;
+2. completed cell outcomes are persisted, keyed by task index, in a
+   single :class:`~repro.runtime.checkpoint.Checkpoint` file rewritten
+   atomically as results land;
+3. a resumed run re-plans (bit-identical, planning is deterministic),
+   loads the completed cells, and re-runs only the missing ones.
+
+The resumed :class:`~repro.sim.cluster.ClusterRunResult` is therefore
+*bit-identical* to an uninterrupted run — the property
+``tests/test_runtime_checkpoint.py`` pins with Hypothesis and a real
+SIGKILL.  A checkpoint refuses to resume a different sweep: the
+``run_key`` digests the sweep's full content (apps, provisioning,
+levels, duration, sim config, fault plan), not object identities.
+
+Execution goes through :class:`~repro.engine.parallel.SupervisedPool`,
+so a crashing *worker* costs a pool rebuild, not the run; a crashing
+*parent* costs at most ``checkpoint_every`` cells of work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.parallel import CellKey, SupervisedPool
+from repro.errors import CheckpointError, ConfigError
+from repro.faults.cluster import ClusterFaultPlan
+from repro.hwmodel.spec import ServerSpec
+from repro.runtime.atomic import PathLike
+from repro.runtime.checkpoint import Checkpoint
+from repro.sim.cluster import (
+    ClusterRunResult,
+    LevelOutcome,
+    ServerPlan,
+    _cell_key,
+    _run_cell,
+    plan_cluster_tasks,
+)
+from repro.sim.colocation import SimConfig
+from repro.workloads.traces import UNIFORM_EVAL_LEVELS
+
+_ADDRESS_RE = re.compile(r" at 0x[0-9a-fA-F]+")
+
+
+def _stable_repr(obj: Any) -> str:
+    """A ``repr`` with memory addresses scrubbed.
+
+    The catalog's apps, specs, configs and manager factories are all
+    dataclasses whose reprs are pure content; anything that leaks an
+    ``at 0x...`` address (a default ``object.__repr__``) is reduced to
+    its type name so the run key never varies between processes.
+    """
+    return _ADDRESS_RE.sub("", repr(obj))
+
+
+def sweep_run_key(
+    plans: Sequence[ServerPlan],
+    spec: ServerSpec,
+    levels: Sequence[float] = UNIFORM_EVAL_LEVELS,
+    duration_s: float = 60.0,
+    config: SimConfig = SimConfig(),
+    fault_plan: Optional[ClusterFaultPlan] = None,
+) -> str:
+    """Digest a sweep's identity into a stable, content-based key.
+
+    Two processes given the same configuration compute the same key;
+    any change to the apps, provisioning, levels, duration, sim config
+    or fault plan changes it.  :meth:`Checkpoint.load` compares this
+    key before resuming, so a checkpoint can never silently continue a
+    *different* sweep.
+    """
+    parts: List[str] = [
+        f"spec={_stable_repr(spec)}",
+        f"levels={[float(level) for level in levels]!r}",
+        f"duration_s={float(duration_s)!r}",
+        f"config={_stable_repr(config)}",
+    ]
+    for plan in plans:
+        parts.append("plan=" + "|".join((
+            _stable_repr(plan.lc_app),
+            _stable_repr(plan.be_app),
+            repr(float(plan.provisioned_power_w)),
+            _stable_repr(plan.manager_factory),
+        )))
+    if fault_plan is not None:
+        parts.append(
+            f"crashes={[_stable_repr(c) for c in fault_plan.crashes]!r}"
+        )
+        faults = fault_plan.cell_faults
+        parts.append(
+            "cell_faults=" + (
+                "None" if faults is None
+                else repr([_stable_repr(f) for f in faults])
+            )
+        )
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+
+
+def _dedupe_plan(
+    tasks: Sequence[Tuple],
+) -> Tuple[List[Tuple], List[CellKey], Dict[CellKey, int]]:
+    """Mirror ``map_ordered``'s dedupe: unique tasks + fan-out mapping."""
+    keys = [_cell_key(*task) for task in tasks]
+    first_index: Dict[CellKey, int] = {}
+    unique: List[Tuple] = []
+    for task, key in zip(tasks, keys):
+        if key not in first_index:
+            first_index[key] = len(unique)
+            unique.append(task)
+    return unique, keys, first_index
+
+
+def _load_completed(
+    path: Path, run_key: str, total: int
+) -> Dict[int, LevelOutcome]:
+    """Validate and extract the completed-cell map from a checkpoint."""
+    checkpoint = Checkpoint.load(path, expect_run_key=run_key)
+    payload = checkpoint.payload
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("completed"), dict
+    ):
+        raise CheckpointError(
+            f"checkpoint {path} carries no completed-cell map; it was not "
+            "written by run_cluster_checkpointed"
+        )
+    completed: Dict[int, LevelOutcome] = {}
+    for index, outcome in payload["completed"].items():
+        if not isinstance(index, int) or not 0 <= index < total:
+            raise CheckpointError(
+                f"checkpoint {path} names cell {index!r} outside this "
+                f"sweep's 0..{total - 1} range"
+            )
+        completed[index] = outcome
+    return completed
+
+
+def run_cluster_checkpointed(
+    plans: Sequence[ServerPlan],
+    spec: ServerSpec,
+    checkpoint_path: PathLike,
+    levels: Sequence[float] = UNIFORM_EVAL_LEVELS,
+    duration_s: float = 60.0,
+    config: SimConfig = SimConfig(),
+    fault_plan: Optional[ClusterFaultPlan] = None,
+    workers: int = 1,
+    dedupe: bool = False,
+    resume: bool = False,
+    checkpoint_every: int = 1,
+    supervisor: Optional[SupervisedPool] = None,
+) -> ClusterRunResult:
+    """:func:`~repro.sim.cluster.run_cluster`, crash-safe.
+
+    Semantics and results are bit-identical to ``run_cluster`` with the
+    same arguments; the additions are durability knobs:
+
+    * ``checkpoint_path`` — the single checkpoint file, atomically
+      rewritten as cells complete (never observably half-written);
+    * ``resume`` — load ``checkpoint_path`` first and re-run only the
+      cells it lacks.  A missing file starts fresh (so "always pass
+      ``--resume``" is a safe operating procedure); a checkpoint from a
+      *different* sweep raises :class:`~repro.errors.CheckpointError`;
+    * ``checkpoint_every`` — cells completed between checkpoint writes;
+      1 (default) bounds the recomputation lost to a crash at one cell;
+    * ``supervisor`` — a configured
+      :class:`~repro.engine.parallel.SupervisedPool` to execute with
+      (its worker count wins over ``workers``); by default a fresh
+      supervisor with ``workers`` workers is used, so worker crashes
+      are retried either way.
+
+    The checkpoint is left in place on success — it doubles as the
+    completed-run record (its header carries progress counters readable
+    without unpickling).
+    """
+    if checkpoint_every < 1:
+        raise ConfigError("checkpoint_every must be at least 1")
+    tasks, skeleton = plan_cluster_tasks(
+        plans, spec, levels, duration_s, config, fault_plan
+    )
+    run_key = sweep_run_key(
+        plans, spec, levels=levels, duration_s=duration_s,
+        config=config, fault_plan=fault_plan,
+    )
+    if dedupe:
+        exec_tasks, keys, first_index = _dedupe_plan(tasks)
+    else:
+        exec_tasks = list(tasks)
+    target = Path(checkpoint_path)
+    completed: Dict[int, LevelOutcome] = {}
+    if resume and target.exists():
+        completed = _load_completed(target, run_key, len(exec_tasks))
+    placement = {
+        plan.lc_app.name: (plan.be_app.name if plan.be_app else None)
+        for plan in plans
+    }
+
+    def _save() -> None:
+        cursor = 0
+        while cursor in completed:
+            cursor += 1
+        Checkpoint(
+            run_key=run_key,
+            payload={"completed": dict(completed), "placement": placement},
+            extra={
+                "cells_total": len(exec_tasks),
+                "cells_done": len(completed),
+                "cursor": cursor,
+            },
+        ).save(target)
+
+    pending = [i for i in range(len(exec_tasks)) if i not in completed]
+    if pending:
+        pool = supervisor if supervisor is not None else SupervisedPool(
+            workers=workers
+        )
+        since_save = 0
+
+        def _on_result(position: int, outcome: LevelOutcome) -> None:
+            nonlocal since_save
+            completed[pending[position]] = outcome
+            since_save += 1
+            if since_save >= checkpoint_every:
+                _save()
+                since_save = 0
+
+        pool.map_ordered(
+            _run_cell,
+            [exec_tasks[i] for i in pending],
+            on_result=_on_result,
+        )
+    _save()
+    if dedupe:
+        skeleton.outcomes.extend(completed[first_index[key]] for key in keys)
+    else:
+        skeleton.outcomes.extend(
+            completed[i] for i in range(len(exec_tasks))
+        )
+    return skeleton

@@ -241,24 +241,50 @@ def run_cluster(
     Both knobs are bit-identical to the default serial run — the
     differential suite pins that.
     """
+    tasks, result = plan_cluster_tasks(
+        plans, spec, levels, duration_s, config, fault_plan
+    )
+    keys = [_cell_key(*task) for task in tasks] if dedupe else None
+    result.outcomes.extend(map_ordered(_run_cell, tasks, workers=workers, keys=keys))
+    return result
+
+
+def plan_cluster_tasks(
+    plans: Sequence[ServerPlan],
+    spec: ServerSpec,
+    levels: Sequence[float] = UNIFORM_EVAL_LEVELS,
+    duration_s: float = 60.0,
+    config: SimConfig = SimConfig(),
+    fault_plan: Optional[ClusterFaultPlan] = None,
+) -> Tuple[List[Tuple], ClusterRunResult]:
+    """Decide every cell of a sweep without executing any of them.
+
+    Returns ``(tasks, skeleton)``: the ordered ``_run_cell`` argument
+    tuples and a :class:`ClusterRunResult` with empty ``outcomes`` but —
+    for faulted sweeps — a fully populated :class:`ClusterFaultReport`
+    (the crash/recovery/re-placement control flow depends only on the
+    fault plan, never on cell outcomes, so it is decidable up front).
+
+    This split is what makes crash-safe checkpointing possible: the
+    :mod:`repro.runtime` layer plans once, persists completed cells by
+    task index, and on resume re-runs only the incomplete ones —
+    bit-identical because each cell is a pure function of its tuple.
+    ``run_cluster`` itself is ``plan_cluster_tasks`` + ``map_ordered``.
+    """
     if not plans:
         raise ConfigError("cluster needs at least one server plan")
     if not levels:
         raise ConfigError("need at least one load level")
     if fault_plan is not None:
-        return _run_cluster_faulted(
-            plans, spec, levels, duration_s, config, fault_plan,
-            workers=workers, dedupe=dedupe,
+        return _plan_cluster_faulted(
+            plans, spec, levels, duration_s, config, fault_plan
         )
-    tasks = [
+    tasks: List[Tuple] = [
         (plan, spec, level, duration_s, config, plan.be_app, None)
         for plan in plans
         for level in levels
     ]
-    keys = [_cell_key(*task) for task in tasks] if dedupe else None
-    result = ClusterRunResult()
-    result.outcomes.extend(map_ordered(_run_cell, tasks, workers=workers, keys=keys))
-    return result
+    return tasks, ClusterRunResult()
 
 
 def _replace_displaced(
@@ -307,17 +333,15 @@ def _replace_displaced(
         ))
 
 
-def _run_cluster_faulted(
+def _plan_cluster_faulted(
     plans: Sequence[ServerPlan],
     spec: ServerSpec,
     levels: Sequence[float],
     duration_s: float,
     config: SimConfig,
     fault_plan: ClusterFaultPlan,
-    workers: int = 1,
-    dedupe: bool = False,
-) -> ClusterRunResult:
-    """The level-major sweep with crash/recovery handling.
+) -> Tuple[List[Tuple], ClusterRunResult]:
+    """Plan the level-major sweep with crash/recovery handling.
 
     Levels are the timeline; each surviving server runs its level cell.
     A host with several BE co-runners (after re-placement) time-shares
@@ -327,8 +351,8 @@ def _run_cluster_faulted(
 
     The crash/recovery/re-placement control flow depends only on the
     fault plan — never on cell outcomes — so the timeline is walked
-    first to decide every cell, and the cells then execute through the
-    engine (serial, pooled, or deduplicated) in timeline order.
+    here to decide every cell (and the full fault report) up front; the
+    cells then execute through the engine in timeline order.
     """
     known = {plan.lc_app.name for plan in plans}
     for crash in fault_plan.crashes:
@@ -378,6 +402,4 @@ def _run_cluster_faulted(
                     plan, spec, level, share_s, config, be_app,
                     fault_plan.cell_faults,
                 ))
-    keys = [_cell_key(*task) for task in tasks] if dedupe else None
-    result.outcomes.extend(map_ordered(_run_cell, tasks, workers=workers, keys=keys))
-    return result
+    return tasks, result

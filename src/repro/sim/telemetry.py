@@ -117,19 +117,23 @@ def write_csv(telemetry: Telemetry, path) -> int:
     """Dump every series of a telemetry bundle to one tidy CSV file.
 
     Long format — ``series,time_s,value`` — so any plotting tool ingests
-    it directly.  Returns the number of data rows written.
+    it directly.  Returns the number of data rows written.  The file is
+    replaced atomically: a crash mid-dump leaves the previous CSV
+    intact, never a torn one.
     """
     import csv
-    import pathlib
+    import io
 
-    target = pathlib.Path(path)
+    from repro.runtime.atomic import atomic_write_text
+
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow(["series", "time_s", "value"])
     rows = 0
-    with target.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(["series", "time_s", "value"])
-        for name in telemetry.names():
-            series = telemetry.series(name)
-            for t, v in zip(series.times, series.values):
-                writer.writerow([name, t, v])
-                rows += 1
+    for name in telemetry.names():
+        series = telemetry.series(name)
+        for t, v in zip(series.times, series.values):
+            writer.writerow([name, t, v])
+            rows += 1
+    atomic_write_text(path, buffer.getvalue())
     return rows

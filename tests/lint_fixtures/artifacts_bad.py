@@ -1,0 +1,10 @@
+"""Every in-place artifact write POCO501 must catch (linted, not run)."""
+import json
+import pathlib
+
+pathlib.Path("BENCH_engine.json").write_text(json.dumps({"a": 1}))
+pathlib.Path("report.md").write_bytes(b"# table\n")
+handle = open("artifact.json", "w")
+appender = open("log.txt", mode="a")
+exclusive = open("once.md", "x")
+updating = pathlib.Path("notes.csv").open("r+")

@@ -1,0 +1,20 @@
+"""The same artifact flows done legally: atomic helpers and pure reads."""
+import json
+import pathlib
+
+from repro.runtime.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
+
+atomic_write_json("BENCH_engine.json", {"a": 1})
+atomic_write_text("report.md", "# table\n")
+atomic_write_bytes("sweep.ckpt", b"payload")
+content = pathlib.Path("artifact.json").read_text()
+payload = json.loads(content)
+with open("artifact.json") as handle:
+    handle.read()
+with open("artifact.json", "rb") as binary:
+    binary.read()
+stream = pathlib.Path("notes.csv").open(newline="")

@@ -51,6 +51,13 @@ class TestExamples:
         assert "Degradation under faults" in out
         assert "displaced BE" in out
 
+    def test_resume_sweep(self, capsys):
+        out = run_example("resume_sweep.py", capsys)
+        assert "Clean reference run" in out
+        assert "checkpoint survived" in out
+        assert "bit-identical to clean run: True" in out
+        assert "Crash-safe resume: OK" in out
+
     @pytest.mark.slow
     def test_websearch_diurnal(self, capsys):
         out = run_example("websearch_diurnal.py", capsys)

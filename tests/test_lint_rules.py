@@ -26,19 +26,21 @@ def lines_of(findings):
 
 
 class TestRegistry:
-    def test_four_rule_families_registered(self):
+    def test_five_rule_families_registered(self):
         rules = all_rules()
         assert [r.rule_id for r in rules] == [
             "unit-mixing",
             "nondeterminism",
             "pool-closure",
             "exception-policy",
+            "atomic-artifacts",
         ]
         assert [r.code for r in rules] == [
             "POCO101",
             "POCO201",
             "POCO301",
             "POCO401",
+            "POCO501",
         ]
 
     def test_unknown_rule_raises_lint_error(self):
@@ -172,6 +174,36 @@ class TestExceptionPolicy:
             "    raise exc\n"
         )
         assert lint_source(src, rules=[get_rule("exception-policy")]) == []
+
+
+class TestAtomicArtifacts:
+    def test_bad_fixture_all_violations_found(self):
+        found = findings_for("artifacts_bad.py", "atomic-artifacts")
+        assert lines_of(found) == [5, 6, 7, 8, 9, 10]
+
+    def test_messages_point_at_the_atomic_helper(self):
+        found = findings_for("artifacts_bad.py", "atomic-artifacts")
+        by_line = {f.line: f.message for f in found}
+        assert "write_text()" in by_line[5]
+        assert "write_bytes()" in by_line[6]
+        assert "open(..., 'w')" in by_line[7]
+        assert "open(..., 'a')" in by_line[8]
+        assert "repro.runtime.atomic" in by_line[10]
+
+    def test_good_twin_is_clean(self):
+        assert findings_for("artifacts_good.py", "atomic-artifacts") == []
+
+    def test_atomic_helper_module_is_allowlisted(self):
+        src = "open('x.json', 'w')\n"
+        assert lint_source(
+            src,
+            path="src/repro/runtime/atomic.py",
+            rules=[get_rule("atomic-artifacts")],
+        ) == []
+
+    def test_dynamic_mode_is_not_guessed(self):
+        src = "handle = open(path, mode)\n"
+        assert lint_source(src, rules=[get_rule("atomic-artifacts")]) == []
 
 
 class TestSuppression:

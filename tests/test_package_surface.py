@@ -29,6 +29,7 @@ PACKAGES = (
     "repro.engine",
     "repro.evaluation",
     "repro.hwmodel",
+    "repro.runtime",
     "repro.sim",
     "repro.solvers",
     "repro.workloads",
@@ -93,6 +94,7 @@ class TestDocstringCoverage:
     @pytest.mark.parametrize("package", [
         "repro.core", "repro.hwmodel", "repro.apps", "repro.sim",
         "repro.solvers", "repro.cost", "repro.workloads", "repro.analysis",
+        "repro.runtime",
     ])
     def test_exported_items_documented(self, package):
         import inspect

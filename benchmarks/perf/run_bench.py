@@ -125,6 +125,47 @@ def bench_cluster(cat, n_servers: int, serial_baseline: bool = True) -> dict:
     return entry
 
 
+def bench_guard_overhead(cat, n_servers: int = 10, reps: int = 9) -> dict:
+    """Guarded vs unguarded cluster sweep; the invariant-monitor tax.
+
+    Arms are interleaved and the per-arm minimum is kept, so scheduler
+    noise cannot masquerade as guard overhead.  The guarded run must
+    stay clean and produce identical floats — guards observe, never
+    steer.
+    """
+    from repro.guard import GuardConfig
+
+    plans = sc.fleet_plans(cat, n_servers)
+    guard = GuardConfig()
+    sc.run_fleet(cat, plans, dedupe=True)  # warm model/grid caches
+    plain_s = guarded_s = float("inf")
+    plain = guarded = None
+    for _ in range(reps):
+        plain, t = _timed(sc.run_fleet, cat, plans, dedupe=True)
+        plain_s = min(plain_s, t)
+        guarded, t = _timed(sc.run_fleet, cat, plans, dedupe=True, guard=guard)
+        guarded_s = min(guarded_s, t)
+    assert _flat(plain) == _flat(guarded), "guarded != unguarded results"
+    assert all(
+        o.result.guard_report.clean for o in guarded.outcomes
+    ), "healthy sweep must be violation-free"
+    overhead_pct = round(100.0 * (guarded_s / plain_s - 1.0), 1)
+    return {
+        "name": f"guard_overhead_{n_servers}",
+        "description": (
+            f"run_cluster: {n_servers} servers x {len(sc.SWEEP_LEVELS)} "
+            "levels, unguarded vs guarded (record mode, all six "
+            "invariants, deep_check_every="
+            f"{guard.deep_check_every}); min over {reps} interleaved reps"
+        ),
+        "mechanism": "guard-monitor",
+        "serial_s": round(plain_s, 4),
+        "engine_s": round(guarded_s, 4),
+        "overhead_pct": overhead_pct,
+        "identical_results": True,
+    }
+
+
 def bench_pipeline(cat, workers: int) -> dict:
     kwargs = dict(
         placement_seeds=range(4),
@@ -170,6 +211,7 @@ def main(argv=None) -> int:
     if not args.quick:
         scenarios.append(bench_cluster(cat, 1000))
     scenarios.append(bench_pipeline(cat, workers=2))
+    scenarios.append(bench_guard_overhead(cat))
 
     payload = {
         "schema": "pocolo-bench-engine/1",

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Guard campaign smoke: the chaos search must catch a broken capper.
+
+CI's ``guard-campaign`` job runs this on every push (docs/GUARDS.md).
+The drill:
+
+1. run a short coverage-guided campaign against the healthy control
+   stack — the safety invariants must hold under every fault schedule
+   the campaign throws at it (no false positives);
+2. re-run the identical campaign against a server whose cap watchdog
+   is disabled — the campaign must detect the power-cap violation,
+   shrink the violating schedule to a minimal reproducer, and the
+   reproducer must round-trip through a pinned fixture and still
+   violate.
+
+Exit 0: both phases behave. Exit 1: a false positive on the healthy
+stack, a missed detection on the broken one, or a fixture that does
+not reproduce.
+
+Usage:  PYTHONPATH=src python scripts/guard_campaign_smoke.py [--seed N]
+"""
+
+import argparse
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.apps import (  # noqa: E402  (path bootstrap above)
+    REFERENCE_SPEC,
+    best_effort_apps,
+    latency_critical_apps,
+)
+from repro.evaluation.pipeline import HeraclesFactory  # noqa: E402
+from repro.guard import GuardConfig  # noqa: E402
+from repro.guard.campaign import (  # noqa: E402
+    CampaignConfig,
+    ColocationCaseRunner,
+    run_campaign,
+)
+from repro.guard.fixtures import load_fixture, write_fixture  # noqa: E402
+from repro.hwmodel.capping import PowerCapController  # noqa: E402
+from repro.sim.colocation import SimConfig  # noqa: E402
+
+
+@dataclass(frozen=True)
+class WatchdogDisabledCapper:
+    """Capper double with the stale-meter watchdog turned off.
+
+    Under a power-unaware manager the cap loop is the only defense, so
+    pinning the meter with a stuck-at fault while load rises must push
+    the server over its cap — exactly what the campaign should find.
+    """
+
+    def __call__(self, server, meter):
+        return PowerCapController(server=server, meter=meter, watchdog=False)
+
+
+def build_runner(seed, capper_factory=None):
+    # img-dnn + graph at mid load is the sharpest probe: the BE tenant
+    # holds real resources (so true draw sits well above the cap when
+    # the meter goes blind) while a healthy capper still has headroom
+    # to squash excursions within the guard's grace window.
+    lc = latency_critical_apps()["img-dnn"]
+    be = best_effort_apps()["graph"]
+    return ColocationCaseRunner(
+        lc_app=lc,
+        be_app=be,
+        manager_factory=HeraclesFactory(),
+        spec=REFERENCE_SPEC,
+        provisioned_power_w=lc.peak_server_power_w(),
+        level=0.5,
+        duration_s=20.0,
+        config=SimConfig(seed=seed),
+        guard=GuardConfig(),
+        capper_factory=capper_factory,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign RNG seed (default 0)")
+    parser.add_argument("--rounds", type=int, default=8,
+                        help="mutation rounds per phase (default 8)")
+    args = parser.parse_args(argv)
+
+    config = CampaignConfig(
+        seed=args.seed, rounds=args.rounds, batch_size=4,
+        initial_corpus=4, horizon_s=20.0, max_faults=4,
+        mean_duration_s=8.0,
+    )
+
+    print(f"guard-campaign: phase 1 — healthy stack (seed {args.seed})")
+    healthy = run_campaign(build_runner(args.seed), config)
+    print(f"guard-campaign: {healthy.cases_run} cases, "
+          f"{healthy.coverage_points} coverage points, "
+          f"{len(healthy.violations)} violations")
+    if healthy.found:
+        names = sorted(
+            name for case in healthy.violations for name in case.invariants
+        )
+        print(f"guard-campaign: FAIL — false positive on healthy stack: "
+              f"{names}")
+        return 1
+
+    print("guard-campaign: phase 2 — watchdog-disabled capper")
+    broken_runner = build_runner(args.seed, WatchdogDisabledCapper())
+    broken = run_campaign(broken_runner, config)
+    print(f"guard-campaign: {broken.cases_run} cases, "
+          f"{broken.coverage_points} coverage points, "
+          f"{len(broken.violations)} violations")
+    if not broken.found:
+        print("guard-campaign: FAIL — campaign missed the broken capper")
+        return 1
+
+    case = broken.violations[0]
+    print(f"guard-campaign: violated {sorted(case.invariants)}; shrunk "
+          f"{len(case.schedule)} fault(s) -> {len(case.shrunk)} in "
+          f"{case.shrink_evaluations} evaluations")
+    if len(case.shrunk) > len(case.schedule):
+        print("guard-campaign: FAIL — shrinking grew the schedule")
+        return 1
+
+    with tempfile.TemporaryDirectory() as tmp:
+        fixture = Path(tmp) / "reproducer.json"
+        write_fixture(fixture, case.shrunk, invariants=case.invariants,
+                      note="guard_campaign_smoke reproducer")
+        reloaded, _meta = load_fixture(fixture)
+        outcome = broken_runner.run(reloaded)
+        if not outcome.violating:
+            print("guard-campaign: FAIL — pinned fixture does not reproduce")
+            return 1
+
+    print("guard-campaign: OK — detected, shrunk, and fixture reproduces")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

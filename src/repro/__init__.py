@@ -24,6 +24,9 @@ Package layout
 ``repro.engine``
     The execution layer: vectorized placement math, deterministic
     process-pool fan-out, and exact cell deduplication.
+``repro.guard``
+    Runtime safety invariants (power cap, energy conservation, SLO
+    floor), the violation ledger, and coverage-guided chaos campaigns.
 ``repro.cost``
     The Hamilton-style TCO model of Section V-F.
 ``repro.evaluation``
@@ -41,6 +44,7 @@ from repro.errors import (
     AllocationError,
     CapacityError,
     ConfigError,
+    InvariantViolationError,
     ModelFitError,
     ReproError,
     SimulationError,
@@ -53,6 +57,7 @@ __all__ = [
     "AllocationError",
     "CapacityError",
     "ConfigError",
+    "InvariantViolationError",
     "ModelFitError",
     "ReproError",
     "SimulationError",

@@ -12,12 +12,18 @@ Usage::
     python -m repro validate              # fit diagnostics, all apps
     python -m repro admission             # admission boundaries
     python -m repro run                   # one crash-safe policy sweep
+    python -m repro guard                 # guarded sweep / chaos campaign
 
 All commands accept ``--seed`` (default 7) for the profiling/fitting
 randomness.  ``run`` additionally takes ``--checkpoint-dir`` and
 ``--resume``: with a checkpoint directory the sweep persists completed
 cells as it goes, and a killed run continues where it stopped —
-bit-identical to an uninterrupted one (``docs/RECOVERY.md``).  The
+bit-identical to an uninterrupted one (``docs/RECOVERY.md``).  ``guard``
+runs a policy sweep under the runtime safety invariants
+(``docs/GUARDS.md``) — ``--guard-mode enforce`` fails on the first
+violation, ``--ledger`` writes the violation ledger — or, with
+``--campaign``, hunts for violations with a coverage-guided chaos
+campaign over random fault schedules.  The
 benchmark harness (``pytest benchmarks/``) remains the canonical
 reproduction path — the CLI is the quick look.
 """
@@ -45,7 +51,7 @@ from repro.evaluation import (
 )
 
 COMMANDS = ("list", "placement", "preferences", "fit", "motivation",
-            "evaluate", "tco", "validate", "admission", "run")
+            "evaluate", "tco", "validate", "admission", "run", "guard")
 
 
 def cmd_list(_catalog, _args) -> None:
@@ -227,6 +233,79 @@ def cmd_run(catalog, args) -> None:
     print(f"cluster SLO violations {result.cluster_violation_fraction():.3f}")
 
 
+def cmd_guard(catalog, args) -> None:
+    from repro.guard.invariants import GuardConfig
+
+    guard = GuardConfig(mode=args.guard_mode)
+    if args.campaign:
+        from repro.evaluation.pipeline import cluster_plans, placement_for_policy
+        from repro.guard.campaign import (
+            CampaignConfig,
+            ColocationCaseRunner,
+            run_campaign,
+        )
+
+        if guard.enforcing:
+            raise ConfigError(
+                "--campaign needs --guard-mode record (the campaign "
+                "observes violations; enforce mode would abort its cases)"
+            )
+        placement = placement_for_policy(catalog, args.policy, seed=args.seed)
+        plan = cluster_plans(catalog, placement, args.policy)[0]
+        runner = ColocationCaseRunner(
+            lc_app=plan.lc_app,
+            manager_factory=plan.manager_factory,
+            spec=catalog.spec,
+            provisioned_power_w=plan.provisioned_power_w,
+            be_app=plan.be_app,
+            duration_s=args.duration,
+            guard=guard,
+        )
+        print(f"Hunting invariant violations on {plan.lc_app.name} "
+              f"({args.rounds} rounds)...")
+        campaign = run_campaign(runner, CampaignConfig(
+            seed=args.seed, rounds=args.rounds, horizon_s=args.duration,
+            workers=args.workers,
+        ))
+        print(f"cases run        {campaign.cases_run}")
+        print(f"corpus size      {campaign.corpus_size}")
+        print(f"coverage points  {campaign.coverage_points}")
+        print(f"violations       {len(campaign.violations)}")
+        for case in campaign.violations:
+            print(f"\n{', '.join(case.invariants)} — minimal reproducer "
+                  f"({case.shrink_evaluations} shrink evals):")
+            for line in case.shrunk.describe():
+                print(f"  {line}")
+        if not campaign.found:
+            print("\nNo violations found — the control stack held its "
+                  "contracts across the searched fault schedules.")
+        return
+    result = run_policy(
+        catalog, args.policy, duration_s=args.duration, workers=args.workers,
+        guard=guard, ledger_path=args.ledger,
+    )
+    reports = [
+        o.result.guard_report for o in result.outcomes
+        if o.result.guard_report is not None
+    ]
+    checks = sum(r.checks for r in reports)
+    total = sum(r.total_violations for r in reports)
+    by_invariant: dict = {}
+    for report in reports:
+        for violation in report.violations:
+            by_invariant[violation.invariant] = (
+                by_invariant.get(violation.invariant, 0) + 1
+            )
+    rows = [[name, count] for name, count in sorted(by_invariant.items())]
+    if rows:
+        print(format_table(["invariant", "violations"], rows,
+                           title=f"Guarded {args.policy!r} sweep"))
+    print(f"\n{len(reports)} cells, {checks} invariant checks, "
+          f"{total} violations ({args.guard_mode} mode)")
+    if args.ledger:
+        print(f"ledger written to {args.ledger}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -250,6 +329,16 @@ def main(argv=None) -> int:
                         help="continue the run from its checkpoint")
     parser.add_argument("--checkpoint-every", type=int, default=1,
                         help="cells completed between checkpoint writes")
+    parser.add_argument("--guard-mode", choices=("record", "enforce"),
+                        default="record",
+                        help="guard command: record violations or fail fast")
+    parser.add_argument("--ledger", default=None,
+                        help="guard command: write the violation ledger here")
+    parser.add_argument("--campaign", action="store_true",
+                        help="guard command: run a chaos campaign instead "
+                             "of a policy sweep")
+    parser.add_argument("--rounds", type=int, default=6,
+                        help="mutation rounds for the guard campaign")
     args = parser.parse_args(argv)
 
     catalog = fit_catalog(seed=args.seed) if args.command != "list" else None
@@ -264,6 +353,7 @@ def main(argv=None) -> int:
         "validate": cmd_validate,
         "admission": cmd_admission,
         "run": cmd_run,
+        "guard": cmd_guard,
     }[args.command]
     handler(catalog, args)
     return 0

@@ -225,10 +225,13 @@ def assign_with_fallback(
     try:
         assignment, total = assign_max(sanitized, method="greedy")
     except SolverError as exc:  # ill-formed beyond repair (bad shape)
+        # Chain the *root* cause: the primary solver's failure is why we
+        # are here at all, so it must survive as __cause__ for ledgers
+        # and ExecutionError messages; the greedy failure is in the text.
         raise SolverError(
             f"assignment failed for {method!r} ({last_error}) and the "
             f"greedy fallback could not recover: {exc}"
-        ) from exc
+        ) from (last_error if last_error is not None else exc)
     return assignment, total, "greedy-fallback", fallbacks
 
 

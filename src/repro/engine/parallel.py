@@ -39,6 +39,7 @@ failures are.  See ``docs/RECOVERY.md``.
 
 from __future__ import annotations
 
+import re
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -82,14 +83,71 @@ def _summarize_task(task: Tuple) -> str:
     return "(" + ", ".join(parts) + ")"
 
 
+#: An unindented ``SomeError: message`` line in a formatted traceback.
+_EXC_LINE = re.compile(r"^([A-Za-z_][A-Za-z0-9_.]*): (.+)$", re.MULTILINE)
+
+
+def _remote_root_cause(remote: BaseException) -> Optional[Tuple[str, str]]:
+    """Recover the worker's root cause from a ``_RemoteTraceback``.
+
+    Pickling strips ``__cause__`` chains from pooled results, but the
+    executor's synthetic ``_RemoteTraceback`` carries the worker's full
+    formatted traceback, where a chained failure prints its root cause
+    first and the surfaced exception last.  Returns ``(type_name,
+    message)`` for the root, or ``None`` when the text shows no chain.
+    """
+    matches = _EXC_LINE.findall(str(remote))
+    if len(matches) < 2 or matches[0] == matches[-1]:
+        return None
+    return matches[0]
+
+
+def _root_cause(exc: BaseException) -> Optional[Tuple[str, str]]:
+    """Walk ``__cause__``/``__context__`` to the originating exception.
+
+    Returns ``(type_name, message)`` for the deepest chained exception,
+    or ``None`` when ``exc`` is its own root.  A pooled exception's
+    chain survives only as text inside the executor's synthetic
+    ``_RemoteTraceback`` link, so reaching one hands off to
+    :func:`_remote_root_cause`; cycles cannot loop the walk.
+    """
+    seen = {id(exc)}
+    root: BaseException = exc
+    while True:
+        nxt = root.__cause__ if root.__cause__ is not None else root.__context__
+        if nxt is None or id(nxt) in seen:
+            break
+        if type(nxt).__name__ == "_RemoteTraceback":
+            return _remote_root_cause(nxt)
+        seen.add(id(nxt))
+        root = nxt
+    if root is exc:
+        return None
+    return type(root).__name__, str(root)
+
+
 def _task_failure(
     index: int, total: int, fn: Callable[..., T], task: Tuple, exc: Exception
 ) -> ExecutionError:
-    """Wrap a deterministic task exception with its index and arguments."""
-    return ExecutionError(
+    """Wrap a deterministic task exception with its index and arguments.
+
+    The message also names the *root cause* (the deepest chained
+    exception) when it differs from ``exc`` — cause chains set with
+    ``raise ... from`` deep inside a cell would otherwise be invisible
+    in pooled runs, where pickling strips ``__cause__`` from results
+    and only the ``_RemoteTraceback`` text remembers the chain.
+    """
+    message = (
         f"task {index} of {total} ({getattr(fn, '__name__', fn)!s}) raised "
         f"{type(exc).__name__}: {exc}; args={_summarize_task(task)}"
     )
+    root = _root_cause(exc)
+    if root is not None:
+        name, text = root
+        if len(text) > 2 * _ARG_REPR_LIMIT:
+            text = text[: 2 * _ARG_REPR_LIMIT - 1] + "…"
+        message += f" (root cause: {name}: {text})"
+    return ExecutionError(message)
 
 
 def _run_serial(

@@ -59,6 +59,17 @@ class ExecutionError(ReproError):
     when supervision exhausts its restart budget."""
 
 
+class InvariantViolationError(ReproError):
+    """A runtime safety invariant failed while guards ran in enforce mode.
+
+    Raised by :class:`repro.guard.GuardMonitor` the moment an invariant
+    of :class:`repro.guard.InvariantRegistry` (power-cap compliance,
+    energy conservation, LC SLO floor, budget conservation, monotonic
+    time, RNG isolation) is violated beyond its configured tolerance.
+    In ``record`` mode the same violations are collected into the
+    :class:`repro.guard.GuardReport` / violation ledger instead."""
+
+
 class CheckpointError(ReproError):
     """A checkpoint file is unusable: missing, corrupt (checksum or
     framing mismatch), written by an unsupported format version, or

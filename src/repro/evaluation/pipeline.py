@@ -16,7 +16,7 @@ Everything downstream (the figure benchmarks, the examples) builds on
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -60,6 +60,9 @@ from repro.sim.cluster import (
 )
 from repro.sim.colocation import SimConfig
 from repro.workloads.traces import UNIFORM_EVAL_LEVELS
+
+if TYPE_CHECKING:  # guard configs only pass through; import lazily
+    from repro.guard.invariants import GuardConfig
 
 #: The evaluation's policy names (Section V-D), plus the TCO-only variant.
 POLICIES = ("random", "pom", "pocolo")
@@ -248,6 +251,8 @@ def run_policy(
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
     checkpoint_every: int = 1,
+    guard: Optional["GuardConfig"] = None,
+    ledger_path: Optional[str] = None,
 ) -> ClusterRunResult:
     """Run one policy over the full cluster and load sweep.
 
@@ -262,6 +267,11 @@ def run_policy(
     completed cells persist as they land and ``resume=True`` re-runs
     only the missing ones — still bit-identical (see
     ``docs/RECOVERY.md``).
+
+    ``guard`` runs every cell under the runtime safety invariants of
+    :mod:`repro.guard` (``docs/GUARDS.md``); ``ledger_path`` writes the
+    violation ledger — derived deterministically from the completed
+    cells, checkpointed or not.
     """
     if placement is None:
         placement = placement_for_policy(catalog, policy, seed=seed, levels=levels)
@@ -275,10 +285,18 @@ def run_policy(
             plans, catalog.spec, checkpoint_path, levels=levels,
             duration_s=duration_s, config=config, workers=workers,
             dedupe=dedupe, resume=resume, checkpoint_every=checkpoint_every,
+            guard=guard, ledger_path=ledger_path,
         )
-    return run_cluster(plans, catalog.spec, levels=levels,
-                       duration_s=duration_s, config=config,
-                       workers=workers, dedupe=dedupe)
+    if ledger_path is not None and guard is None:
+        raise ConfigError("a violation ledger needs a guard config")
+    result = run_cluster(plans, catalog.spec, levels=levels,
+                         duration_s=duration_s, config=config,
+                         workers=workers, dedupe=dedupe, guard=guard)
+    if ledger_path is not None:
+        from repro.guard.ledger import write_ledger
+
+        write_ledger(ledger_path, result)
+    return result
 
 
 @dataclass(frozen=True)
@@ -304,12 +322,19 @@ def summarize_policy(
     Throughput per server counts the LC app's served load fraction plus
     the BE app's normalized throughput — both in "fraction of a full
     server's work" units, so they add.
+
+    A fully degraded run — every server crashed, no cells executed —
+    summarizes to zeros rather than NaN: an operating point of "nothing
+    served, nothing drawn" is the truthful description of a cluster
+    that is entirely down.
     """
     lc_load = float(np.mean(
         [o.result.avg_lc_load_fraction for o in result.outcomes]
-    ))
+    )) if result.outcomes else 0.0
     be_norm = result.cluster_be_throughput()
-    power = float(np.mean([o.result.avg_power_w for o in result.outcomes]))
+    power = float(np.mean(
+        [o.result.avg_power_w for o in result.outcomes]
+    )) if result.outcomes else 0.0
     if provisioned_override_w is not None:
         provisioned = provisioned_override_w
     else:

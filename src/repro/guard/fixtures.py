@@ -1,0 +1,135 @@
+"""Pinned regression fixtures: violating fault schedules as durable JSON.
+
+A campaign's output worth keeping is the *minimal reproducer* — the
+shrunk :class:`~repro.faults.schedule.FaultSchedule` that still breaks a
+safety contract.  This module round-trips schedules through plain JSON
+so a reproducer found once is pinned forever: the fixture file goes in
+the test tree, and a regression test loads it and asserts the (fixed)
+stack now survives it.
+
+Only data-pure fault kinds serialize — :class:`ModelStaleness` carries a
+live model object and is refused (campaigns never draw it either).
+Writes go through :mod:`repro.runtime.atomic` (POCO501).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Type
+
+from repro.errors import ConfigError
+from repro.faults.schedule import (
+    Fault,
+    FaultSchedule,
+    LoadSpike,
+    MeterDrift,
+    MeterDropout,
+    MeterStuckAt,
+    TelemetryGap,
+)
+from repro.runtime.atomic import PathLike, atomic_write_json
+
+#: Format tag on every fixture file, for forward compatibility.
+FIXTURE_FORMAT = "pocolo-guard-fixture/1"
+
+#: Fault kinds that are pure data and therefore serializable.
+_FAULT_KINDS: Dict[str, Type[Fault]] = {
+    kind.__name__: kind
+    for kind in (MeterStuckAt, MeterDrift, MeterDropout, TelemetryGap, LoadSpike)
+}
+
+
+def fault_to_data(fault: Fault) -> Dict[str, Any]:
+    """One fault as a JSON-native dict keyed by its class name."""
+    name = type(fault).__name__
+    if name not in _FAULT_KINDS:
+        raise ConfigError(
+            f"fault kind {name!r} is not serializable (it carries live "
+            "objects); fixtures accept " + ", ".join(sorted(_FAULT_KINDS))
+        )
+    data: Dict[str, Any] = {"kind": name}
+    data.update(dataclasses.asdict(fault))
+    return data
+
+
+def fault_from_data(data: Dict[str, Any]) -> Fault:
+    """Rebuild one fault from :func:`fault_to_data` output.
+
+    Unknown kinds and malformed fields raise
+    :class:`~repro.errors.ConfigError` — a hand-edited fixture must fail
+    loudly, not silently reproduce a different fault.
+    """
+    kind = data.get("kind")
+    cls = _FAULT_KINDS.get(kind) if isinstance(kind, str) else None
+    if cls is None:
+        raise ConfigError(f"fixture names unknown fault kind {kind!r}")
+    fields = {key: value for key, value in data.items() if key != "kind"}
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(fields) - known)
+    if unknown:
+        raise ConfigError(
+            f"fixture fault {kind} carries unknown fields {unknown}"
+        )
+    try:
+        return cls(**fields)
+    except TypeError as exc:
+        raise ConfigError(f"fixture fault {kind} is malformed: {exc}") from exc
+
+
+def schedule_to_data(schedule: FaultSchedule) -> List[Dict[str, Any]]:
+    """A schedule as an ordered list of fault dicts."""
+    return [fault_to_data(fault) for fault in schedule]
+
+
+def schedule_from_data(data: List[Dict[str, Any]]) -> FaultSchedule:
+    """Rebuild a schedule serialized by :func:`schedule_to_data`."""
+    if not isinstance(data, list):
+        raise ConfigError("fixture fault list must be a JSON array")
+    return FaultSchedule([fault_from_data(entry) for entry in data])
+
+
+def write_fixture(
+    path: PathLike,
+    schedule: FaultSchedule,
+    invariants: Tuple[str, ...] = (),
+    note: str = "",
+) -> Path:
+    """Atomically pin one reproducer schedule to disk.
+
+    ``invariants`` records which contracts the schedule violated when it
+    was found (so the regression test knows what to watch), ``note``
+    carries free-form provenance (campaign seed, date, bug reference).
+    """
+    return atomic_write_json(path, {
+        "format": FIXTURE_FORMAT,
+        "invariants": list(invariants),
+        "note": note,
+        "faults": schedule_to_data(schedule),
+    })
+
+
+def load_fixture(path: PathLike) -> Tuple[FaultSchedule, Dict[str, Any]]:
+    """Load a pinned fixture; returns ``(schedule, metadata)``.
+
+    Metadata is the file's non-fault content (``invariants``, ``note``).
+    Raises :class:`~repro.errors.ConfigError` on a missing file, invalid
+    JSON, or an unknown format tag.
+    """
+    target = Path(path)
+    if not target.is_file():
+        raise ConfigError(f"no guard fixture at {target}")
+    try:
+        data = json.loads(target.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"{target}: fixture is not valid JSON") from exc
+    if not isinstance(data, dict) or data.get("format") != FIXTURE_FORMAT:
+        raise ConfigError(
+            f"{target}: unknown fixture format "
+            f"{data.get('format') if isinstance(data, dict) else None!r} "
+            f"(expected {FIXTURE_FORMAT!r})"
+        )
+    schedule = schedule_from_data(data.get("faults", []))
+    meta = {key: value for key, value in data.items() if key != "faults"}
+    return schedule, meta

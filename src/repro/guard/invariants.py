@@ -1,0 +1,506 @@
+"""Checkable runtime safety contracts for the colocation control stack.
+
+Pocolo's premise is operating *at* the power cap safely; everything else
+in this repo simulates controllers that are supposed to uphold a handful
+of contracts no matter which faults are active, which solver fell back,
+or which checkpoint a sweep resumed from.  This module states those
+contracts as data — an :class:`InvariantRegistry` of small stateful
+checkers evaluated once per control tick against a :class:`GuardSample`
+snapshot of the live simulation:
+
+``power-cap``
+    True server draw never exceeds the provisioned capacity plus a
+    bounded envelope (meter-noise margin, the sensing error a correct
+    controller *cannot* see during an active negative meter drift, and
+    the best-effort floor draw while the watchdog's safe mode holds),
+    for more than ``cap_grace_steps`` consecutive control ticks.
+``energy-conservation``
+    The per-tenant attributed power (active + apportioned idle, the
+    power-containers split of :mod:`repro.hwmodel.attribution`) sums
+    back to the true server draw within tolerance, every tick.
+``lc-slo-floor``
+    The latency-critical primary always exists, always holds at least
+    its paper-defined floor share (``lc_min_cores`` cores and
+    ``lc_min_ways`` LLC ways), and is never duty-cycled — the cap loop
+    throttles best-effort tenants only.
+``budget-conservation``
+    Tenant allocations never oversubscribe the box: cores and ways sum
+    to at most the spec's totals, duty cycles stay in [0, 1], and every
+    frequency stays on the DVFS ladder.
+``monotonic-time``
+    The simulation clock strictly advances between control ticks.
+``rng-isolation``
+    No component draws from numpy's *global* legacy RNG mid-run — the
+    reproducibility contract that makes cells pure functions of their
+    seeds (and checkpoint resume bit-identical).
+
+Each invariant yields :class:`Violation` records; the monitor decides
+whether to collect them (``record`` mode) or raise
+:class:`~repro.errors.InvariantViolationError` (``enforce`` mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.faults.schedule import FaultSchedule, MeterDrift
+from repro.guard.tolerance import exceeds_cap, tolerance_band
+from repro.hwmodel.attribution import AttributedPowerMeter
+from repro.hwmodel.server import Server
+
+if TYPE_CHECKING:  # layering: guard sits below the sim loop
+    from repro.core.server_manager import ServerManagerBase
+    from repro.hwmodel.capping import PowerCapController
+
+#: Guard evaluation modes.
+MODE_RECORD = "record"
+MODE_ENFORCE = "enforce"
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Per-invariant tolerances and the record/enforce switch.
+
+    Frozen and hashable so a config can ride inside cell-dedupe keys and
+    the checkpoint ``run_key`` — two guarded cells with equal configs
+    are the same computation.
+
+    ``cap_margin_w`` absorbs meter noise and one throttle step of
+    actuation granularity; ``cap_grace_steps`` is how many *consecutive*
+    over-envelope control ticks are forgiven (a correct controller needs
+    a few 100 ms samples to see and squash an excursion).
+    ``max_violations`` bounds the per-cell record-mode ledger so a
+    hopelessly broken run cannot exhaust memory.
+
+    ``deep_check_every`` strides the two *cumulative* checks — energy
+    conservation and RNG isolation — whose failure states persist once
+    entered (an accounting bug does not fix itself; the global RNG
+    never un-advances).  Evaluating them every Nth tick catches every
+    violation with at most ``N - 1`` ticks of timestamp slack, while
+    keeping guard overhead within the perf budget; the control-loop
+    contracts (cap, floor, budget, time) stay strictly per-tick.
+    """
+
+    mode: str = MODE_RECORD
+    cap_margin_w: float = 3.0
+    cap_grace_steps: int = 3
+    energy_abs_tol_w: float = 1e-6
+    energy_rel_tol: float = 1e-9
+    lc_min_cores: int = 1
+    lc_min_ways: int = 1
+    check_rng: bool = True
+    max_violations: int = 100
+    deep_check_every: int = 8
+
+    def __post_init__(self) -> None:
+        if self.mode not in (MODE_RECORD, MODE_ENFORCE):
+            raise ConfigError(
+                f"guard mode must be {MODE_RECORD!r} or {MODE_ENFORCE!r}, "
+                f"got {self.mode!r}"
+            )
+        if self.cap_grace_steps < 0:
+            raise ConfigError("cap grace steps cannot be negative")
+        if self.energy_abs_tol_w < 0 or self.energy_rel_tol < 0:
+            raise ConfigError("energy tolerances cannot be negative")
+        if self.lc_min_cores < 1 or self.lc_min_ways < 1:
+            raise ConfigError("the LC floor share must be at least one unit")
+        if self.max_violations < 1:
+            raise ConfigError("max_violations must be at least 1")
+        if self.deep_check_every < 1:
+            raise ConfigError("deep_check_every must be at least 1")
+
+    @property
+    def enforcing(self) -> bool:
+        """True when violations raise instead of being recorded."""
+        return self.mode == MODE_ENFORCE
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach at one control tick, as plain data."""
+
+    invariant: str
+    time_s: float
+    message: str
+    observed: float
+    limit: float
+
+    def render(self) -> str:
+        """The one-line human rendering used by reports and exceptions."""
+        return (
+            f"[{self.invariant}] t={self.time_s:g}s: {self.message} "
+            f"(observed {self.observed:.6g}, limit {self.limit:.6g})"
+        )
+
+
+@dataclass(frozen=True)
+class GuardReport:
+    """What the guards saw over one simulated run.
+
+    ``violations`` is capped at the config's ``max_violations``;
+    ``total_violations`` keeps the true count so truncation is visible.
+    Plain frozen data — pickles across the process pool and into
+    checkpoints unchanged.
+    """
+
+    mode: str
+    checks: int
+    total_violations: int
+    violations: Tuple[Violation, ...]
+
+    @property
+    def clean(self) -> bool:
+        """True when no invariant was ever violated."""
+        return self.total_violations == 0
+
+    @property
+    def truncated(self) -> bool:
+        """True when ``violations`` holds fewer entries than occurred."""
+        return self.total_violations > len(self.violations)
+
+    def count(self, invariant: str) -> int:
+        """Recorded violations of one invariant (post-truncation)."""
+        return sum(1 for v in self.violations if v.invariant == invariant)
+
+
+@dataclass
+class GuardSample:
+    """One control tick's snapshot handed to every invariant.
+
+    Everything is a live reference into the running simulation —
+    invariants read, never mutate, and never draw from ``rng``.
+    """
+
+    time_s: float
+    in_window: bool
+    power_w: float
+    server: Server
+    capper: "PowerCapController"
+    manager: "ServerManagerBase"
+    faults: Optional[FaultSchedule]
+    rng: np.random.Generator
+
+
+class Invariant:
+    """Base class: one named, stateful, per-tick safety check."""
+
+    name: str = ""
+
+    def __init__(self, config: GuardConfig) -> None:
+        self.config = config
+
+    def observe(self, sample: GuardSample) -> Optional[Violation]:
+        """Check one tick; return a violation or None."""
+        raise NotImplementedError
+
+    def violation(
+        self, sample: GuardSample, message: str, observed: float, limit: float
+    ) -> Violation:
+        """Build a violation record anchored at the sample's clock."""
+        return Violation(
+            invariant=self.name,
+            time_s=sample.time_s,
+            message=message,
+            observed=observed,
+            limit=limit,
+        )
+
+
+class PowerCapInvariant(Invariant):
+    """True draw stays inside the cap envelope (Section IV-C's contract).
+
+    The envelope adapts to what a *correct* controller can actually
+    see and actuate:
+
+    * ``cap_margin_w`` — meter noise plus one throttle step;
+    * active negative :class:`~repro.faults.schedule.MeterDrift` bias —
+      a meter under-reporting by ``b`` watts makes a true draw of
+      ``cap + b`` look exactly on-cap, so during the drift window the
+      blame belongs to the fault model, not the controller;
+    * watchdog safe mode — the controller's contract degrades to "the
+      primary alone fits under the cap" (best-effort tenants are pinned
+      to their floor, whose small true draw is excused).
+
+    Only excursions persisting *beyond* ``cap_grace_steps`` consecutive
+    in-window control ticks count: the 100 ms loop needs a few samples
+    to observe and squash a step change.
+    """
+
+    name = "power-cap"
+
+    def __init__(self, config: GuardConfig) -> None:
+        super().__init__(config)
+        self._streak = 0
+
+    def _drift_allowance_w(self, sample: GuardSample) -> float:
+        """Under-reporting bias of every active meter drift, in watts."""
+        if sample.faults is None:
+            return 0.0
+        allowance = 0.0
+        for drift in sample.faults.active(sample.time_s, MeterDrift):
+            bias = drift.bias_at(sample.time_s)
+            if bias < 0:
+                allowance += -bias
+        return allowance
+
+    def _safe_mode_allowance_w(self, sample: GuardSample) -> float:
+        """Floored best-effort draw excused while the watchdog holds."""
+        if not sample.capper.safe_mode:
+            return 0.0
+        return sum(
+            sample.server.tenant_power_w(name)
+            for name in sample.server.secondary_tenants()
+        )
+
+    def observe(self, sample: GuardSample) -> Optional[Violation]:
+        if not sample.in_window:
+            return None
+        cap = sample.server.provisioned_power_w
+        margin = (
+            self.config.cap_margin_w
+            + self._drift_allowance_w(sample)
+            + self._safe_mode_allowance_w(sample)
+        )
+        if not exceeds_cap(sample.power_w, cap, margin):
+            self._streak = 0
+            return None
+        self._streak += 1
+        if self._streak <= self.config.cap_grace_steps:
+            return None
+        return self.violation(
+            sample,
+            f"true draw above the provisioned cap envelope for "
+            f"{self._streak} consecutive control ticks",
+            observed=sample.power_w,
+            limit=cap + margin,
+        )
+
+
+class EnergyConservationInvariant(Invariant):
+    """Attributed per-tenant power sums back to the true server draw.
+
+    The power-containers split (:class:`AttributedPowerMeter`) charges
+    each tenant its active power plus a resource-proportional idle
+    share; conservation means the split plus the unallocated idle
+    remainder equals the box's true draw.  A noiseless attribution is
+    exact, so any measurable error is an accounting bug (double-counted
+    duty cycling, a tenant dropped from the sum, ...).
+    """
+
+    name = "energy-conservation"
+
+    def __init__(self, config: GuardConfig) -> None:
+        super().__init__(config)
+        self._meter: Optional[AttributedPowerMeter] = None
+        self._tick = 0
+
+    def observe(self, sample: GuardSample) -> Optional[Violation]:
+        # Cumulative check: an accounting bug persists, so a strided
+        # evaluation still catches it (see GuardConfig.deep_check_every).
+        tick, self._tick = self._tick, self._tick + 1
+        if tick % self.config.deep_check_every:
+            return None
+        if self._meter is None or self._meter.server is not sample.server:
+            self._meter = AttributedPowerMeter(sample.server)
+        error_w = self._meter.conservation_error_w(true_power_w=sample.power_w)
+        limit = tolerance_band(
+            sample.power_w,
+            self.config.energy_abs_tol_w,
+            self.config.energy_rel_tol,
+        )
+        if error_w <= limit:
+            return None
+        return self.violation(
+            sample,
+            "attributed tenant power does not sum to the true server draw",
+            observed=error_w,
+            limit=limit,
+        )
+
+
+class LcSloFloorInvariant(Invariant):
+    """The latency-critical primary keeps its floor share, always.
+
+    The paper gives the primary absolute priority; the floor is the
+    smallest allocation the control stack may ever leave it with —
+    including during displaced-BE re-placement and safe mode.  The
+    primary is also never duty-cycled: CPU-time limiting is the cap
+    loop's last-resort knob for *best-effort* tenants only.
+    """
+
+    name = "lc-slo-floor"
+
+    def observe(self, sample: GuardSample) -> Optional[Violation]:
+        primary = sample.server.primary_tenant()
+        if primary is None:
+            return self.violation(
+                sample, "server lost its primary tenant mid-run",
+                observed=0.0, limit=1.0,
+            )
+        alloc = sample.server.allocation_of(primary)
+        if alloc.cores < self.config.lc_min_cores:
+            return self.violation(
+                sample,
+                f"primary {primary!r} starved below its core floor",
+                observed=float(alloc.cores),
+                limit=float(self.config.lc_min_cores),
+            )
+        if alloc.ways < self.config.lc_min_ways:
+            return self.violation(
+                sample,
+                f"primary {primary!r} starved below its LLC-way floor",
+                observed=float(alloc.ways),
+                limit=float(self.config.lc_min_ways),
+            )
+        if alloc.duty_cycle < 1.0:
+            return self.violation(
+                sample,
+                f"primary {primary!r} was duty-cycled",
+                observed=alloc.duty_cycle,
+                limit=1.0,
+            )
+        return None
+
+
+class BudgetConservationInvariant(Invariant):
+    """Allocations never oversubscribe the box or leave the knob ranges."""
+
+    name = "budget-conservation"
+
+    def observe(self, sample: GuardSample) -> Optional[Violation]:
+        spec = sample.server.spec
+        total_cores = 0
+        total_ways = 0
+        for tenant in sample.server.tenants():
+            alloc = sample.server.allocation_of(tenant)
+            total_cores += alloc.cores
+            total_ways += alloc.ways
+            if not 0.0 <= alloc.duty_cycle <= 1.0:
+                return self.violation(
+                    sample,
+                    f"tenant {tenant!r} duty cycle outside [0, 1]",
+                    observed=alloc.duty_cycle, limit=1.0,
+                )
+            if not alloc.is_empty and not (
+                spec.ladder.min_ghz - 1e-9
+                <= alloc.freq_ghz
+                <= spec.ladder.max_ghz + 1e-9
+            ):
+                return self.violation(
+                    sample,
+                    f"tenant {tenant!r} frequency off the DVFS ladder",
+                    observed=alloc.freq_ghz, limit=spec.ladder.max_ghz,
+                )
+        if total_cores > spec.cores:
+            return self.violation(
+                sample, "tenant core allocations oversubscribe the socket",
+                observed=float(total_cores), limit=float(spec.cores),
+            )
+        if total_ways > spec.llc_ways:
+            return self.violation(
+                sample, "tenant way allocations oversubscribe the LLC",
+                observed=float(total_ways), limit=float(spec.llc_ways),
+            )
+        return None
+
+
+class MonotonicTimeInvariant(Invariant):
+    """The simulation clock strictly advances between control ticks."""
+
+    name = "monotonic-time"
+
+    def __init__(self, config: GuardConfig) -> None:
+        super().__init__(config)
+        self._prev_s: Optional[float] = None
+
+    def observe(self, sample: GuardSample) -> Optional[Violation]:
+        prev = self._prev_s
+        self._prev_s = sample.time_s
+        if prev is not None and sample.time_s <= prev:
+            return self.violation(
+                sample, "control tick clock failed to advance",
+                observed=sample.time_s, limit=prev,
+            )
+        return None
+
+
+class RngIsolationInvariant(Invariant):
+    """Nothing draws from numpy's global legacy RNG during the run.
+
+    Every cell builds its own ``default_rng(config.seed)``; a stray
+    ``np.random.uniform(...)`` (the module-level singleton) would make
+    results depend on execution order across cells — silently breaking
+    dedupe, parallel fan-out and checkpoint-resume bit-identity.  The
+    invariant fingerprints the global Mersenne Twister state on its
+    first tick and verifies it never moves.
+    """
+
+    name = "rng-isolation"
+
+    def __init__(self, config: GuardConfig) -> None:
+        super().__init__(config)
+        self._baseline: Optional[Tuple[str, bytes, int]] = None
+        self._tick = 0
+
+    @staticmethod
+    def _fingerprint() -> Tuple[str, bytes, int]:
+        # Reading the legacy global RNG is the point: the invariant
+        # detects anyone *using* it.
+        kind, keys, pos = np.random.get_state()[:3]  # pocolint: disable=nondeterminism
+        return str(kind), np.asarray(keys).tobytes(), int(pos)
+
+    def observe(self, sample: GuardSample) -> Optional[Violation]:
+        if not self.config.check_rng:
+            return None
+        # Cumulative check: the global RNG never un-advances, so a
+        # strided read still catches every stray draw (see
+        # GuardConfig.deep_check_every).
+        tick, self._tick = self._tick, self._tick + 1
+        if tick % self.config.deep_check_every:
+            return None
+        current = self._fingerprint()
+        if self._baseline is None:
+            self._baseline = current
+            return None
+        if current == self._baseline:
+            return None
+        # Re-baseline so one stray draw reports once, not every tick.
+        self._baseline = current
+        return self.violation(
+            sample,
+            "numpy's global legacy RNG advanced mid-run (a component "
+            "drew from np.random instead of its seeded generator)",
+            observed=float(current[2]),
+            limit=float("nan"),
+        )
+
+
+@dataclass
+class InvariantRegistry:
+    """The ordered set of invariants one guarded run evaluates.
+
+    Order is part of determinism: violations are discovered (and the
+    enforce-mode exception raised) in registry order within a tick.
+    """
+
+    invariants: List[Invariant] = field(default_factory=list)
+
+    @classmethod
+    def default(cls, config: GuardConfig) -> "InvariantRegistry":
+        """The full safety-contract set, in severity order."""
+        return cls(invariants=[
+            PowerCapInvariant(config),
+            EnergyConservationInvariant(config),
+            LcSloFloorInvariant(config),
+            BudgetConservationInvariant(config),
+            MonotonicTimeInvariant(config),
+            RngIsolationInvariant(config),
+        ])
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered invariant names, in evaluation order."""
+        return tuple(inv.name for inv in self.invariants)

@@ -1,0 +1,107 @@
+"""The violation ledger: guarded sweep outcomes as durable JSONL.
+
+The ledger is *derived*, not streamed: entries are rebuilt
+deterministically from the cell outcomes of a completed
+:class:`~repro.sim.cluster.ClusterRunResult` (each
+:class:`~repro.sim.colocation.ColocationResult` carries its cell's
+:class:`~repro.guard.invariants.GuardReport`).  Because cells are pure
+functions of their task tuples, a checkpointed sweep that crashed and
+resumed produces byte-identical ledger content to an uninterrupted run
+— the property ``tests/test_guard_ledger.py`` pins.
+
+Writes go through :mod:`repro.runtime.atomic` (POCO501), so a crash
+mid-write can never leave a half-written ledger behind.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.errors import ConfigError
+from repro.runtime.atomic import PathLike, atomic_write_text
+
+#: Format tag embedded in every entry, for forward compatibility.
+LEDGER_FORMAT = "pocolo-guard-ledger/1"
+
+
+def ledger_entries(result: Any) -> List[Dict[str, Any]]:
+    """Flatten a cluster run's guard reports into ordered ledger entries.
+
+    ``result`` is a :class:`~repro.sim.cluster.ClusterRunResult` (duck
+    typed to keep this module import-light).  Entries are ordered by
+    cell index then by violation order within the cell — both
+    deterministic — and contain only JSON-native scalars.
+    """
+    entries: List[Dict[str, Any]] = []
+    for cell_index, outcome in enumerate(result.outcomes):
+        report = getattr(outcome.result, "guard_report", None)
+        if report is None:
+            continue
+        for violation in report.violations:
+            entries.append({
+                "format": LEDGER_FORMAT,
+                "cell": cell_index,
+                "lc": outcome.lc_name,
+                "be": outcome.be_name,
+                "level": outcome.level,
+                "mode": report.mode,
+                "invariant": violation.invariant,
+                "time_s": violation.time_s,
+                "observed": violation.observed,
+                "limit": violation.limit,
+                "message": violation.message,
+            })
+    return entries
+
+
+def render_ledger(result: Any) -> str:
+    """The ledger's exact file content: one JSON object per line.
+
+    Keys are emitted in insertion order with repr-faithful floats, so
+    equal results render byte-identical text.
+    """
+    lines = [
+        json.dumps(entry, ensure_ascii=True, sort_keys=False)
+        for entry in ledger_entries(result)
+    ]
+    return "".join(line + "\n" for line in lines)
+
+
+def write_ledger(path: PathLike, result: Any) -> int:
+    """Atomically write the violation ledger; returns the entry count.
+
+    An empty ledger is still written (a zero-byte file is the positive
+    statement "this sweep ran guarded and saw nothing"), which lets CI
+    diff ledgers without special-casing clean runs.
+    """
+    text = render_ledger(result)
+    atomic_write_text(path, text)
+    return text.count("\n")
+
+
+def read_ledger(path: PathLike) -> List[Dict[str, Any]]:
+    """Parse a ledger file back into its entry dicts, in file order."""
+    target = Path(path)
+    if not target.is_file():
+        raise ConfigError(f"no violation ledger at {target}")
+    entries: List[Dict[str, Any]] = []
+    for line_number, line in enumerate(
+        target.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(
+                f"{target}:{line_number}: ledger line is not valid JSON"
+            ) from exc
+        if entry.get("format") != LEDGER_FORMAT:
+            raise ConfigError(
+                f"{target}:{line_number}: unknown ledger format "
+                f"{entry.get('format')!r} (expected {LEDGER_FORMAT!r})"
+            )
+        entries.append(entry)
+    return entries

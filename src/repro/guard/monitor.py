@@ -1,0 +1,77 @@
+"""The per-run guard monitor: evaluate every invariant, every tick.
+
+:class:`GuardMonitor` is the object the simulation loop actually talks
+to — one :meth:`observe` call per control tick with a
+:class:`~repro.guard.invariants.GuardSample`, one :meth:`report` call at
+the end.  In ``record`` mode violations accumulate (capped) into the
+:class:`~repro.guard.invariants.GuardReport`; in ``enforce`` mode the
+first violation raises :class:`~repro.errors.InvariantViolationError`
+immediately, so a broken controller kills its cell instead of producing
+a quietly wrong result.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import InvariantViolationError
+from repro.guard.invariants import (
+    GuardConfig,
+    GuardReport,
+    GuardSample,
+    InvariantRegistry,
+    Violation,
+)
+
+
+class GuardMonitor:
+    """Evaluates an invariant registry against a running simulation.
+
+    One monitor guards one run: invariants are stateful (grace streaks,
+    previous tick times, RNG baselines), so monitors are never shared
+    or reused across cells.
+    """
+
+    def __init__(
+        self,
+        config: GuardConfig,
+        registry: Optional[InvariantRegistry] = None,
+    ) -> None:
+        self.config = config
+        self.registry = (
+            registry if registry is not None
+            else InvariantRegistry.default(config)
+        )
+        self._checks = 0
+        self._total_violations = 0
+        self._violations: List[Violation] = []
+
+    def observe(self, sample: GuardSample) -> None:
+        """Run every invariant against one control tick's snapshot.
+
+        Raises :class:`~repro.errors.InvariantViolationError` on the
+        first violation when enforcing; otherwise records it (up to the
+        config's ``max_violations``) and keeps going.
+        """
+        for invariant in self.registry.invariants:
+            self._checks += 1
+            violation = invariant.observe(sample)
+            if violation is None:
+                continue
+            self._total_violations += 1
+            if len(self._violations) < self.config.max_violations:
+                self._violations.append(violation)
+            if self.config.enforcing:
+                raise InvariantViolationError(
+                    f"guard invariant violated in enforce mode: "
+                    f"{violation.render()}"
+                )
+
+    def report(self) -> GuardReport:
+        """Snapshot what the guards saw so far, as plain frozen data."""
+        return GuardReport(
+            mode=self.config.mode,
+            checks=self._checks,
+            total_violations=self._total_violations,
+            violations=tuple(self._violations),
+        )

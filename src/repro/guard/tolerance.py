@@ -1,0 +1,53 @@
+"""Canonical tolerance arithmetic for power/energy comparisons.
+
+Every quantity the guards check is a measured or integrated physical
+value: watts from a (possibly faulted) meter, joules from a trapezoid
+integral, fractions of a provisioned cap.  Comparing such quantities
+with ad-hoc ``abs(a - b) < 1e-6`` sprinkled around the codebase is how
+tolerance bugs are born — each site picks its own epsilon, none of them
+documents whether it is absolute or relative, and a unit change silently
+invalidates all of them.
+
+This module is the single home for those comparisons.  The pocolint
+rule ``POCO601`` (``guard-tolerance``) flags hand-rolled tolerance
+comparisons on power/energy quantities outside ``repro.guard`` and
+points here.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+def tolerance_band(expected: float, abs_tol: float, rel_tol: float) -> float:
+    """The symmetric acceptance band around ``expected``.
+
+    The band is ``abs_tol + rel_tol * |expected|`` — the standard
+    combined absolute/relative form (absolute dominates near zero,
+    relative dominates at scale).  Both tolerances must be nonnegative.
+    """
+    if abs_tol < 0 or rel_tol < 0:
+        raise ConfigError("tolerances cannot be negative")
+    return abs_tol + rel_tol * abs(expected)
+
+
+def within_tolerance(
+    observed: float,
+    expected: float,
+    abs_tol: float = 0.0,
+    rel_tol: float = 0.0,
+) -> bool:
+    """True when ``observed`` lies inside the band around ``expected``."""
+    return abs(observed - expected) <= tolerance_band(expected, abs_tol, rel_tol)
+
+
+def exceeds_cap(observed_w: float, cap_w: float, margin_w: float = 0.0) -> bool:
+    """True when a power draw breaks a one-sided cap plus margin.
+
+    Caps are one-sided by nature: drawing *less* than provisioned is
+    always safe, so only the upward direction is an excursion.  The
+    margin absorbs meter noise and actuation granularity; it may be
+    negative to make a check deliberately stricter than the cap (used
+    by tests that want guaranteed violations).
+    """
+    return observed_w > cap_w + margin_w

@@ -97,10 +97,17 @@ class AttributedPowerMeter:
         )
         return readings
 
-    def conservation_error_w(self) -> float:
-        """|sum of attributed power − true server power| (0 when noiseless)."""
+    def conservation_error_w(self, true_power_w: Optional[float] = None) -> float:
+        """|sum of attributed power − true server power| (0 when noiseless).
+
+        ``true_power_w`` lets a caller that already sampled the server's
+        draw this instant (the guard monitor does, every control tick)
+        skip re-evaluating every tenant's power model.
+        """
         total = sum(r.total_w for r in self.read().values())
-        return abs(total - self.server.power_w())
+        if true_power_w is None:
+            true_power_w = self.server.power_w()
+        return abs(total - true_power_w)
 
 
 def attribution_shift(

@@ -23,6 +23,10 @@ POCO201    ``nondeterminism``   clock/RNG bans (explicit seeded generators)
 POCO301    ``pool-closure``     picklable callables into process pools
 POCO401    ``exception-policy`` ReproError-only raises, no asserts/bare
                                 excepts in library code
+POCO501    ``atomic-artifacts`` durable files go through
+                                ``repro.runtime.atomic``
+POCO601    ``hand-rolled-tolerance`` power/energy tolerance checks go
+                                through ``repro.guard.tolerance``
 ========== ==================== ==========================================
 
 Run it as ``python -m repro.lint [paths ...]``; see ``docs/LINTING.md``

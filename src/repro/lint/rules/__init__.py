@@ -8,6 +8,7 @@ Importing this package registers every rule with the core registry;
 * POCO301 ``pool-closure`` — :mod:`repro.lint.rules.parallel_safety`
 * POCO401 ``exception-policy`` — :mod:`repro.lint.rules.exceptions`
 * POCO501 ``atomic-artifacts`` — :mod:`repro.lint.rules.artifacts`
+* POCO601 ``hand-rolled-tolerance`` — :mod:`repro.lint.rules.tolerances`
 """
 
 from __future__ import annotations
@@ -16,11 +17,13 @@ from repro.lint.rules.artifacts import AtomicArtifactsRule
 from repro.lint.rules.determinism import NondeterminismRule
 from repro.lint.rules.exceptions import ExceptionPolicyRule
 from repro.lint.rules.parallel_safety import PoolClosureRule
+from repro.lint.rules.tolerances import HandRolledToleranceRule
 from repro.lint.rules.units import UnitMixingRule
 
 __all__ = [
     "AtomicArtifactsRule",
     "ExceptionPolicyRule",
+    "HandRolledToleranceRule",
     "NondeterminismRule",
     "PoolClosureRule",
     "UnitMixingRule",

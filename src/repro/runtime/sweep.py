@@ -35,6 +35,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.engine.parallel import CellKey, SupervisedPool
 from repro.errors import CheckpointError, ConfigError
 from repro.faults.cluster import ClusterFaultPlan
+from repro.guard.invariants import GuardConfig
 from repro.hwmodel.spec import ServerSpec
 from repro.runtime.atomic import PathLike
 from repro.runtime.checkpoint import Checkpoint
@@ -70,14 +71,17 @@ def sweep_run_key(
     duration_s: float = 60.0,
     config: SimConfig = SimConfig(),
     fault_plan: Optional[ClusterFaultPlan] = None,
+    guard: Optional[GuardConfig] = None,
 ) -> str:
     """Digest a sweep's identity into a stable, content-based key.
 
     Two processes given the same configuration compute the same key;
-    any change to the apps, provisioning, levels, duration, sim config
-    or fault plan changes it.  :meth:`Checkpoint.load` compares this
-    key before resuming, so a checkpoint can never silently continue a
-    *different* sweep.
+    any change to the apps, provisioning, levels, duration, sim config,
+    fault plan or guard config changes it.  :meth:`Checkpoint.load`
+    compares this key before resuming, so a checkpoint can never
+    silently continue a *different* sweep.  The guard part is appended
+    only when a guard is configured, so pre-guard checkpoints of
+    unguarded sweeps keep resuming.
     """
     parts: List[str] = [
         f"spec={_stable_repr(spec)}",
@@ -103,6 +107,8 @@ def sweep_run_key(
                 else repr([_stable_repr(f) for f in faults])
             )
         )
+    if guard is not None:
+        parts.append(f"guard={_stable_repr(guard)}")
     return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
 
 
@@ -157,6 +163,8 @@ def run_cluster_checkpointed(
     resume: bool = False,
     checkpoint_every: int = 1,
     supervisor: Optional[SupervisedPool] = None,
+    guard: Optional[GuardConfig] = None,
+    ledger_path: Optional[PathLike] = None,
 ) -> ClusterRunResult:
     """:func:`~repro.sim.cluster.run_cluster`, crash-safe.
 
@@ -180,15 +188,24 @@ def run_cluster_checkpointed(
     The checkpoint is left in place on success — it doubles as the
     completed-run record (its header carries progress counters readable
     without unpickling).
+
+    ``guard`` runs every cell under the safety invariants of
+    :mod:`repro.guard` (and becomes part of the run key, so guarded and
+    unguarded checkpoints never cross-resume).  ``ledger_path`` writes
+    the violation ledger — rebuilt deterministically from the completed
+    cells, so a resumed sweep emits a byte-identical ledger to an
+    uninterrupted one.
     """
     if checkpoint_every < 1:
         raise ConfigError("checkpoint_every must be at least 1")
+    if ledger_path is not None and guard is None:
+        raise ConfigError("a violation ledger needs a guard config")
     tasks, skeleton = plan_cluster_tasks(
-        plans, spec, levels, duration_s, config, fault_plan
+        plans, spec, levels, duration_s, config, fault_plan, guard=guard
     )
     run_key = sweep_run_key(
         plans, spec, levels=levels, duration_s=duration_s,
-        config=config, fault_plan=fault_plan,
+        config=config, fault_plan=fault_plan, guard=guard,
     )
     if dedupe:
         exec_tasks, keys, first_index = _dedupe_plan(tasks)
@@ -244,4 +261,11 @@ def run_cluster_checkpointed(
         skeleton.outcomes.extend(
             completed[i] for i in range(len(exec_tasks))
         )
+    if ledger_path is not None:
+        # Imported here: repro.guard.ledger writes through this
+        # package's atomic helpers, so a module-level import would be
+        # circular during package initialization.
+        from repro.guard.ledger import write_ledger
+
+        write_ledger(ledger_path, skeleton)
     return skeleton

@@ -31,6 +31,7 @@ from repro.faults.cluster import (
     Replacement,
 )
 from repro.faults.schedule import FaultSchedule
+from repro.guard.invariants import GuardConfig
 from repro.hwmodel.server import Server
 from repro.hwmodel.spec import ServerSpec
 from repro.sim.colocation import (
@@ -146,6 +147,7 @@ def _run_cell(
     config: SimConfig,
     be_app: Optional[BestEffortApp],
     faults: Optional[FaultSchedule] = None,
+    guard: Optional[GuardConfig] = None,
 ) -> LevelOutcome:
     """One fresh (server, level) steady-state colocation cell."""
     server = build_colocated_server(
@@ -164,6 +166,7 @@ def _run_cell(
         be_app=be_app,
         config=config,
         faults=faults,
+        guard=guard,
     )
     outcome = sim.run(duration_s)
     return LevelOutcome(
@@ -182,6 +185,7 @@ def _cell_key(
     config: SimConfig,
     be_app: Optional[BestEffortApp],
     faults: Optional[FaultSchedule],
+    guard: Optional[GuardConfig] = None,
 ) -> CellKey:
     """Identity of one cell for deduplication.
 
@@ -192,6 +196,7 @@ def _cell_key(
     which is precisely the case dedupe targets; manager factories are
     compared by value when hashable (the pipeline's factories are) and
     by identity otherwise (user closures never dedupe by accident).
+    Guard configs are frozen value objects and compare by content.
     """
     try:
         hash(plan.manager_factory)
@@ -208,6 +213,7 @@ def _cell_key(
         duration_s,
         config,
         None if faults is None else id(faults),
+        guard,
     )
 
 
@@ -220,6 +226,7 @@ def run_cluster(
     fault_plan: Optional[ClusterFaultPlan] = None,
     workers: int = 1,
     dedupe: bool = False,
+    guard: Optional[GuardConfig] = None,
 ) -> ClusterRunResult:
     """Run every server plan at every load level, fresh state per cell.
 
@@ -240,9 +247,14 @@ def run_cluster(
 
     Both knobs are bit-identical to the default serial run — the
     differential suite pins that.
+
+    ``guard`` switches on the runtime safety invariants of
+    :mod:`repro.guard` in every cell: each outcome carries a
+    ``guard_report``, and enforce mode fails the run on the first
+    violation.
     """
     tasks, result = plan_cluster_tasks(
-        plans, spec, levels, duration_s, config, fault_plan
+        plans, spec, levels, duration_s, config, fault_plan, guard=guard
     )
     keys = [_cell_key(*task) for task in tasks] if dedupe else None
     result.outcomes.extend(map_ordered(_run_cell, tasks, workers=workers, keys=keys))
@@ -256,6 +268,7 @@ def plan_cluster_tasks(
     duration_s: float = 60.0,
     config: SimConfig = SimConfig(),
     fault_plan: Optional[ClusterFaultPlan] = None,
+    guard: Optional[GuardConfig] = None,
 ) -> Tuple[List[Tuple], ClusterRunResult]:
     """Decide every cell of a sweep without executing any of them.
 
@@ -277,10 +290,10 @@ def plan_cluster_tasks(
         raise ConfigError("need at least one load level")
     if fault_plan is not None:
         return _plan_cluster_faulted(
-            plans, spec, levels, duration_s, config, fault_plan
+            plans, spec, levels, duration_s, config, fault_plan, guard
         )
     tasks: List[Tuple] = [
-        (plan, spec, level, duration_s, config, plan.be_app, None)
+        (plan, spec, level, duration_s, config, plan.be_app, None, guard)
         for plan in plans
         for level in levels
     ]
@@ -340,6 +353,7 @@ def _plan_cluster_faulted(
     duration_s: float,
     config: SimConfig,
     fault_plan: ClusterFaultPlan,
+    guard: Optional[GuardConfig] = None,
 ) -> Tuple[List[Tuple], ClusterRunResult]:
     """Plan the level-major sweep with crash/recovery handling.
 
@@ -393,13 +407,13 @@ def _plan_cluster_faulted(
             if not co_runners:
                 tasks.append((
                     plan, spec, level, duration_s, config, None,
-                    fault_plan.cell_faults,
+                    fault_plan.cell_faults, guard,
                 ))
                 continue
             share_s = duration_s / len(co_runners)
             for be_app in co_runners:
                 tasks.append((
                     plan, spec, level, share_s, config, be_app,
-                    fault_plan.cell_faults,
+                    fault_plan.cell_faults, guard,
                 ))
     return tasks, result

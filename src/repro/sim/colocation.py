@@ -22,7 +22,7 @@ activity.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
@@ -44,6 +44,12 @@ from repro.hwmodel.server import PRIMARY, SECONDARY, Server
 from repro.hwmodel.spec import ServerSpec
 from repro.sim.telemetry import Telemetry
 from repro.workloads.traces import ConstantTrace, LoadTrace
+
+if TYPE_CHECKING:  # the guard layer imports hwmodel only; no cycle
+    from repro.guard.invariants import GuardConfig, GuardReport
+
+#: Builds the cap loop for a sim; overridable so tests can plant doubles.
+CapperFactory = Callable[[Server, PowerMeter], PowerCapController]
 
 
 @dataclass(frozen=True)
@@ -69,7 +75,12 @@ class SimConfig:
 
 @dataclass
 class ColocationResult:
-    """Aggregates of one simulated run (post-warmup window only)."""
+    """Aggregates of one simulated run (post-warmup window only).
+
+    ``guard_report`` is populated only when the sim ran with a
+    :class:`~repro.guard.invariants.GuardConfig`; it stays ``None`` on
+    unguarded runs, so existing aggregation code is unaffected.
+    """
 
     lc_name: str
     be_name: Optional[str]
@@ -84,6 +95,7 @@ class ColocationResult:
     cap_stats: CapStats
     manager_stats: ManagerStats
     telemetry: Telemetry = field(repr=False)
+    guard_report: Optional["GuardReport"] = None
 
 
 class ColocationSim:
@@ -98,6 +110,8 @@ class ColocationSim:
         be_app: Optional[BestEffortApp] = None,
         config: SimConfig = SimConfig(),
         faults: Optional[FaultSchedule] = None,
+        guard: Optional["GuardConfig"] = None,
+        capper_factory: Optional[CapperFactory] = None,
     ) -> None:
         primary = server.primary_tenant()
         if primary is None:
@@ -129,7 +143,11 @@ class ColocationSim:
                 noise_sigma_w=config.meter_noise_w,
                 interval_s=config.power_interval_s,
             )
-        self.capper = PowerCapController(server=server, meter=self.meter)
+        if capper_factory is not None:
+            self.capper = capper_factory(server, self.meter)
+        else:
+            self.capper = PowerCapController(server=server, meter=self.meter)
+        self.guard = guard
         self._true_model = getattr(manager, "model", None)
         self._model_swapped = False
 
@@ -151,10 +169,24 @@ class ColocationSim:
 
         Warmup runs before t=0 so that traces are sampled on their own
         timeline; statistics cover only t in [0, duration_s).
+
+        With a guard config, every control tick is checked against the
+        safety invariants of :mod:`repro.guard`: ``record`` mode
+        collects violations into ``result.guard_report``; ``enforce``
+        mode raises :class:`~repro.errors.InvariantViolationError` on
+        the first one.
         """
         if duration_s <= 0:
             raise ConfigError("duration must be positive")
         cfg = self.config
+        monitor = None
+        if self.guard is not None:
+            # Imported here: repro.guard.campaign drives this sim, so a
+            # module-level import would be circular.
+            from repro.guard.invariants import GuardSample
+            from repro.guard.monitor import GuardMonitor
+
+            monitor = GuardMonitor(self.guard)
         telemetry = Telemetry()
         energy = EnergyCounter()
         primary = self.server.primary_tenant()
@@ -212,6 +244,17 @@ class ColocationSim:
             lc_alloc = self.server.allocation_of(primary)
             true_slack = self.lc_app.slack(true_load, lc_alloc)
             power = self.server.power_w()
+            if monitor is not None:
+                monitor.observe(GuardSample(
+                    time_s=t,
+                    in_window=in_window,
+                    power_w=power,
+                    server=self.server,
+                    capper=self.capper,
+                    manager=self.manager,
+                    faults=self.faults,
+                    rng=self._rng,
+                ))
             if in_window:
                 if true_slack < 0:
                     violations += 1
@@ -250,6 +293,7 @@ class ColocationSim:
             cap_stats=self.capper.stats,
             manager_stats=self.manager.stats,
             telemetry=telemetry,
+            guard_report=monitor.report() if monitor is not None else None,
         )
 
 

@@ -1,0 +1,15 @@
+"""POCO601 bad fixture: hand-rolled tolerance checks on power/energy."""
+import math
+
+import numpy as np
+
+
+def violations(measured_w, expected_w, energy_j, budget_j, tol, eps_w):
+    a = abs(measured_w - expected_w) < tol
+    b = tol >= abs(measured_w - expected_w)
+    c = abs(energy_j - budget_j) <= 0.5
+    d = abs(attributed_w) < eps_w
+    e = math.isclose(measured_w, expected_w, abs_tol=0.25)
+    f = np.isclose(energy_j, budget_j)
+    g = np.allclose(residual_w, 0.0, atol=1e-6)
+    return a, b, c, d, e, f, g

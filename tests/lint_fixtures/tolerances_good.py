@@ -1,0 +1,18 @@
+"""POCO601 good twin: the same shapes, legally.
+
+Unit-less quantities, strict threshold comparisons (no abs/isclose),
+and the guard vocabulary itself are all fine.
+"""
+import math
+
+from repro.guard import tolerance_band, within_tolerance
+
+
+def legal(measured_w, cap_w, count_a, count_b, score, margin_w):
+    a = within_tolerance(measured_w, cap_w, abs_tol_w=0.5)
+    b = tolerance_band(cap_w, abs_tol=3.0, rel_tol=0.0)
+    c = abs(count_a - count_b) < 2
+    d = math.isclose(score, 1.0)
+    e = measured_w < cap_w - margin_w
+    f = measured_w > cap_w
+    return a, b, c, d, e, f

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.__main__ import COMMANDS, main
+from repro.errors import ConfigError
 
 
 class TestCli:
@@ -56,3 +57,35 @@ class TestCli:
         assert main(["motivation"]) == 0
         out = capsys.readouterr().out
         assert "Fig 1" in out and "Fig 4" in out
+
+
+class TestGuardCli:
+    @pytest.mark.slow
+    def test_guard_sweep_reports_checks(self, capsys):
+        assert main(["guard", "--duration", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "cells" in out
+        assert "invariant checks" in out
+        assert "record mode" in out
+
+    @pytest.mark.slow
+    def test_guard_enforce_writes_ledger(self, capsys, tmp_path):
+        ledger = tmp_path / "violations.jsonl"
+        assert main(["guard", "--guard-mode", "enforce", "--duration", "6",
+                     "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "enforce mode" in out
+        assert str(ledger) in out
+        assert ledger.exists()
+
+    @pytest.mark.slow
+    def test_guard_campaign_reports_cases(self, capsys):
+        assert main(["guard", "--campaign", "--rounds", "1",
+                     "--duration", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "cases run" in out
+        assert "coverage points" in out
+
+    def test_guard_campaign_rejects_enforce_mode(self):
+        with pytest.raises(ConfigError, match="record"):
+            main(["guard", "--campaign", "--guard-mode", "enforce"])

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.placement import (
     LcServerSide,
+    assign_with_fallback,
     build_performance_matrix,
     enumerate_placements,
     pocolo_placement,
@@ -12,7 +13,7 @@ from repro.core.placement import (
     predict_spare_capacity,
     random_placement,
 )
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SolverError
 from repro.hwmodel.spec import Allocation
 from repro.solvers.hungarian import brute_force_assignment_max
 
@@ -180,3 +181,39 @@ class TestEnumeratePlacements:
             enumerate_placements(["a"], ["x", "y"])
         with pytest.raises(ConfigError):
             enumerate_placements(list("abcdefghi"), list("123456789"))
+
+
+class TestAssignWithFallback:
+    def test_healthy_matrix_uses_the_requested_method(self):
+        values = [[3.0, 1.0], [1.0, 3.0]]
+        assignment, total, used, fallbacks = assign_with_fallback(values)
+        assert assignment == [0, 1]
+        assert total == pytest.approx(6.0)
+        assert used == "lp"
+        assert fallbacks == 0
+
+    def test_nan_poisoned_matrix_degrades_to_greedy(self):
+        values = np.full((2, 2), np.nan)
+        assignment, total, used, fallbacks = assign_with_fallback(
+            values, method="lp", retries=1
+        )
+        assert used == "greedy-fallback"
+        assert fallbacks == 2  # the primary attempt plus its retry
+        assert sorted(assignment) == [0, 1]
+        assert total == 0.0  # failed predictions are worth nothing
+
+    def test_unrecoverable_failure_chains_the_root_cause(self):
+        # Both the primary solver and the greedy last resort fail on an
+        # empty matrix; the raised error must carry the *primary*
+        # failure as __cause__ so pooled ExecutionError messages (which
+        # lose pickled cause chains) can still name it.
+        with pytest.raises(SolverError) as excinfo:
+            assign_with_fallback(np.zeros((0, 2)), method="lp", retries=1)
+        assert "greedy fallback could not recover" in str(excinfo.value)
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, SolverError)
+        assert "non-empty" in str(cause)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ConfigError):
+            assign_with_fallback([[1.0]], retries=-1)

@@ -30,6 +30,14 @@ def boom(x):
     return x
 
 
+def boom_chained(x):
+    """Fail with a ``raise ... from`` chain, like a degraded cell does."""
+    try:
+        raise KeyError(f"stale-model-{x}")
+    except KeyError as exc:
+        raise ValueError("refit failed") from exc
+
+
 def crash_once(x, flag_dir):
     """SIGKILL the hosting process the first time task 2 runs."""
     flag = pathlib.Path(flag_dir) / f"crashed-{x}"
@@ -77,6 +85,27 @@ class TestMapOrderedErrorContext:
         with pytest.raises(ExecutionError) as excinfo:
             map_ordered(boom, [(3,), ("x" * 500,)])
         assert len(str(excinfo.value)) < 400
+
+    def test_serial_failure_names_the_root_cause(self):
+        with pytest.raises(
+            ExecutionError,
+            match=r"root cause: KeyError: 'stale-model-0'",
+        ):
+            map_ordered(boom_chained, [(0,)])
+
+    def test_pool_failure_names_the_root_cause(self):
+        # Pickling strips __cause__ from pooled results; the message is
+        # the only place the originating exception survives.
+        with pytest.raises(
+            ExecutionError,
+            match=r"root cause: KeyError: 'stale-model-1'",
+        ):
+            map_ordered(boom_chained, [(1,)], workers=2)
+
+    def test_unchained_failure_omits_the_root_cause_suffix(self):
+        with pytest.raises(ExecutionError) as excinfo:
+            map_ordered(boom, [(3,)])
+        assert "root cause" not in str(excinfo.value)
 
 
 class TestSupervisedPoolSerial:

@@ -167,3 +167,33 @@ class TestClusterCrash:
         run = run_cluster(plans[:1], catalog.spec, levels=[0.5],
                           duration_s=6.0, config=FAST)
         assert run.fault_report is None
+
+    def test_all_servers_crashed_is_well_formed(self, plans, catalog):
+        """Every server down at level 0: zero cells, truthful zeros.
+
+        The run must not raise and must not emit NaN — an empty outcome
+        list aggregates to "nothing served, nothing drawn", and the
+        policy summary stays finite so downstream TCO tables render.
+        """
+        import math
+
+        from repro.evaluation.pipeline import summarize_policy
+
+        fault_plan = ClusterFaultPlan(crashes=tuple(
+            ServerCrash(p.lc_app.name, at_level_index=0) for p in plans
+        ))
+        levels = [0.3, 0.6]
+        run = run_cluster(plans, catalog.spec, levels=levels, duration_s=6.0,
+                          config=FAST, fault_plan=fault_plan)
+        assert run.outcomes == []
+        report = run.fault_report
+        assert report.crashes_handled == len(plans)
+        assert report.degraded_cells == len(plans) * len(levels)
+        assert run.cluster_be_throughput() == 0.0
+        assert run.cluster_power_utilization() == 0.0
+        assert run.cluster_violation_fraction() == 0.0
+        summary = summarize_policy("pocolo", run, catalog)
+        assert summary.throughput_per_server == 0.0
+        assert summary.avg_power_w_per_server == 0.0
+        assert math.isfinite(summary.power_utilization)
+        assert math.isfinite(summary.provisioned_w_per_server)

@@ -26,7 +26,7 @@ def lines_of(findings):
 
 
 class TestRegistry:
-    def test_five_rule_families_registered(self):
+    def test_six_rule_families_registered(self):
         rules = all_rules()
         assert [r.rule_id for r in rules] == [
             "unit-mixing",
@@ -34,6 +34,7 @@ class TestRegistry:
             "pool-closure",
             "exception-policy",
             "atomic-artifacts",
+            "hand-rolled-tolerance",
         ]
         assert [r.code for r in rules] == [
             "POCO101",
@@ -41,6 +42,7 @@ class TestRegistry:
             "POCO301",
             "POCO401",
             "POCO501",
+            "POCO601",
         ]
 
     def test_unknown_rule_raises_lint_error(self):
@@ -204,6 +206,40 @@ class TestAtomicArtifacts:
     def test_dynamic_mode_is_not_guessed(self):
         src = "handle = open(path, mode)\n"
         assert lint_source(src, rules=[get_rule("atomic-artifacts")]) == []
+
+
+class TestHandRolledTolerance:
+    def test_bad_fixture_all_violations_found(self):
+        found = findings_for("tolerances_bad.py", "hand-rolled-tolerance")
+        assert lines_of(found) == [8, 9, 10, 11, 12, 13, 14]
+
+    def test_messages_point_at_the_guard_vocabulary(self):
+        found = findings_for("tolerances_bad.py", "hand-rolled-tolerance")
+        by_line = {f.line: f.message for f in found}
+        assert "repro.guard.tolerance" in by_line[8]
+        assert "isclose() tolerance check" in by_line[12]
+        assert "allclose() tolerance check" in by_line[14]
+
+    def test_good_twin_is_clean(self):
+        assert findings_for("tolerances_good.py", "hand-rolled-tolerance") == []
+
+    def test_guard_package_is_exempt(self):
+        src = "ok = abs(measured_w - cap_w) < tol\n"
+        assert lint_source(
+            src,
+            path="src/repro/guard/tolerance.py",
+            rules=[get_rule("hand-rolled-tolerance")],
+        ) == []
+
+    def test_unitless_abs_comparison_is_not_flagged(self):
+        src = "close = abs(score_a - score_b) < 0.01\n"
+        assert lint_source(src, rules=[get_rule("hand-rolled-tolerance")]) == []
+
+    def test_hysteresis_threshold_is_not_flagged(self):
+        # An actuation threshold is a controller decision, not a
+        # hand-rolled equality tolerance (see docs/LINTING.md).
+        src = "restore = filtered_w < cap_w - restore_margin_w\n"
+        assert lint_source(src, rules=[get_rule("hand-rolled-tolerance")]) == []
 
 
 class TestSuppression:

@@ -14,6 +14,7 @@ from repro.errors import (
     AllocationError,
     CapacityError,
     ConfigError,
+    InvariantViolationError,
     ModelFitError,
     ReproError,
     SimulationError,
@@ -28,6 +29,7 @@ PACKAGES = (
     "repro.cost",
     "repro.engine",
     "repro.evaluation",
+    "repro.guard",
     "repro.hwmodel",
     "repro.runtime",
     "repro.sim",
@@ -65,8 +67,9 @@ class TestPublicSurface:
 
 class TestErrorHierarchy:
     @pytest.mark.parametrize("exc", [
-        AllocationError, CapacityError, ConfigError, ModelFitError,
-        SimulationError, SolverError,
+        AllocationError, CapacityError, ConfigError,
+        InvariantViolationError, ModelFitError, SimulationError,
+        SolverError,
     ])
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, ReproError)
@@ -84,7 +87,8 @@ class TestErrorHierarchy:
 
     def test_docstrings_everywhere(self):
         for exc in (ReproError, AllocationError, CapacityError, ConfigError,
-                    ModelFitError, SimulationError, SolverError):
+                    InvariantViolationError, ModelFitError, SimulationError,
+                    SolverError):
             assert exc.__doc__
 
 
@@ -94,7 +98,7 @@ class TestDocstringCoverage:
     @pytest.mark.parametrize("package", [
         "repro.core", "repro.hwmodel", "repro.apps", "repro.sim",
         "repro.solvers", "repro.cost", "repro.workloads", "repro.analysis",
-        "repro.runtime",
+        "repro.runtime", "repro.guard",
     ])
     def test_exported_items_documented(self, package):
         import inspect

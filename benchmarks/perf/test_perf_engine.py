@@ -101,6 +101,60 @@ class TestClusterSweep:
         assert len(result.outcomes) == 1000 * len(sc.SWEEP_LEVELS)
 
 
+class TestBatchedEngine:
+    """The structure-of-arrays core: exactness always, speed gated.
+
+    The speed gate compares the *speedup ratio* (serial / batched, both
+    measured here and now, dedupe off on both arms) against the ratio
+    recorded in the committed ``BENCH_engine.json`` — ratios transfer
+    across machines where absolute wall times do not.  A batched-core
+    regression that costs more than 20% of the committed speedup fails
+    the perf-smoke job.
+    """
+
+    def test_cluster_1000_batched(self, benchmark, cat):
+        plans = sc.fleet_plans(cat, 1000)
+        sc.run_fleet(cat, sc.fleet_plans(cat, 10), engine="batched")
+        result = benchmark.pedantic(
+            sc.run_fleet, args=(cat, plans), kwargs={"engine": "batched"},
+            rounds=1, iterations=1,
+        )
+        assert len(result.outcomes) == 1000 * len(sc.SWEEP_LEVELS)
+
+    def test_batched_speedup_regression_gate(self, cat):
+        import json
+        import pathlib
+        import time
+
+        committed = json.loads(
+            (pathlib.Path(__file__).resolve().parents[2]
+             / "BENCH_engine.json").read_text()
+        )
+        entry = next(
+            s for s in committed["scenarios"]
+            if s["name"] == "batched_sweep_100"
+        )
+        plans = sc.fleet_plans(cat, 100)
+        t0 = time.perf_counter()
+        serial = sc.run_fleet(cat, plans)
+        serial_s = time.perf_counter() - t0
+        sc.run_fleet(cat, sc.fleet_plans(cat, 10), engine="batched")
+        batched = None
+        batched_s = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            batched = sc.run_fleet(cat, plans, engine="batched")
+            batched_s = min(batched_s, time.perf_counter() - t0)
+        assert _flat(batched) == _flat(serial), "batched != serial"
+        speedup = serial_s / batched_s
+        floor = 0.8 * entry["speedup"]
+        assert speedup >= floor, (
+            f"batched engine regressed: measured {speedup:.1f}x, committed "
+            f"{entry['speedup']}x, gate floor {floor:.1f}x — investigate "
+            "before refreshing BENCH_engine.json"
+        )
+
+
 class TestPipelineSweep:
     def test_policy_sweep(self, benchmark, cat):
         from repro.evaluation.colocation_eval import evaluate_policy

@@ -29,6 +29,7 @@ matrix builds over the same fleet skip the integer neighborhood search.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, Sequence, Tuple
@@ -101,6 +102,11 @@ def clear_engine_caches() -> None:
     """Drop memoized grids and spare-capacity solves (tests, reloads)."""
     model_grid.cache_clear()
     cached_spare_capacity.cache_clear()
+    # The batched core keeps its own memoized surfaces; clear them too,
+    # but only if that module was ever imported (lazy PEP 562 export).
+    batched = sys.modules.get("repro.engine.batched")
+    if batched is not None:
+        batched.clear_batched_caches()
 
 
 def _batched_constrained_demand(

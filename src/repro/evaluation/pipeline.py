@@ -253,6 +253,7 @@ def run_policy(
     checkpoint_every: int = 1,
     guard: Optional["GuardConfig"] = None,
     ledger_path: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> ClusterRunResult:
     """Run one policy over the full cluster and load sweep.
 
@@ -272,6 +273,10 @@ def run_policy(
     :mod:`repro.guard` (``docs/GUARDS.md``); ``ledger_path`` writes the
     violation ledger — derived deterministically from the completed
     cells, checkpointed or not.
+
+    ``engine`` selects the simulation core (``"object"`` per-cell
+    oracle / ``"batched"`` structure-of-arrays; see ``docs/ENGINE.md``)
+    — another bit-identical execution knob.
     """
     if placement is None:
         placement = placement_for_policy(catalog, policy, seed=seed, levels=levels)
@@ -285,13 +290,14 @@ def run_policy(
             plans, catalog.spec, checkpoint_path, levels=levels,
             duration_s=duration_s, config=config, workers=workers,
             dedupe=dedupe, resume=resume, checkpoint_every=checkpoint_every,
-            guard=guard, ledger_path=ledger_path,
+            guard=guard, ledger_path=ledger_path, engine=engine,
         )
     if ledger_path is not None and guard is None:
         raise ConfigError("a violation ledger needs a guard config")
     result = run_cluster(plans, catalog.spec, levels=levels,
                          duration_s=duration_s, config=config,
-                         workers=workers, dedupe=dedupe, guard=guard)
+                         workers=workers, dedupe=dedupe, guard=guard,
+                         engine=engine)
     if ledger_path is not None:
         from repro.guard.ledger import write_ledger
 

@@ -183,6 +183,11 @@ class GuardSample:
     manager: "ServerManagerBase"
     faults: Optional[FaultSchedule]
     rng: np.random.Generator
+    #: True on the run's last control tick.  The strided cumulative
+    #: checks (energy conservation, RNG isolation) always evaluate on a
+    #: final sample, so a cell shorter than ``deep_check_every`` ticks
+    #: cannot skip them entirely.
+    final: bool = False
 
 
 class Invariant:
@@ -301,8 +306,9 @@ class EnergyConservationInvariant(Invariant):
     def observe(self, sample: GuardSample) -> Optional[Violation]:
         # Cumulative check: an accounting bug persists, so a strided
         # evaluation still catches it (see GuardConfig.deep_check_every).
+        # The final tick always evaluates so short cells cannot skip it.
         tick, self._tick = self._tick, self._tick + 1
-        if tick % self.config.deep_check_every:
+        if tick % self.config.deep_check_every and not sample.final:
             return None
         if self._meter is None or self._meter.server is not sample.server:
             self._meter = AttributedPowerMeter(sample.server)
@@ -458,9 +464,10 @@ class RngIsolationInvariant(Invariant):
             return None
         # Cumulative check: the global RNG never un-advances, so a
         # strided read still catches every stray draw (see
-        # GuardConfig.deep_check_every).
+        # GuardConfig.deep_check_every).  The final tick always
+        # evaluates so short cells cannot skip it.
         tick, self._tick = self._tick, self._tick + 1
-        if tick % self.config.deep_check_every:
+        if tick % self.config.deep_check_every and not sample.final:
             return None
         current = self._fingerprint()
         if self._baseline is None:

@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.parallel import CellKey, SupervisedPool
+from repro.engine.select import resolve_engine
 from repro.errors import CheckpointError, ConfigError
 from repro.faults.cluster import ClusterFaultPlan
 from repro.guard.invariants import GuardConfig
@@ -165,6 +166,7 @@ def run_cluster_checkpointed(
     supervisor: Optional[SupervisedPool] = None,
     guard: Optional[GuardConfig] = None,
     ledger_path: Optional[PathLike] = None,
+    engine: Optional[str] = None,
 ) -> ClusterRunResult:
     """:func:`~repro.sim.cluster.run_cluster`, crash-safe.
 
@@ -195,9 +197,23 @@ def run_cluster_checkpointed(
     the violation ledger — rebuilt deterministically from the completed
     cells, so a resumed sweep emits a byte-identical ledger to an
     uninterrupted one.
+
+    ``engine="batched"`` executes the pending cells through the
+    structure-of-arrays core (:mod:`repro.engine.batched`) instead of
+    the supervised pool; completed cells still checkpoint one by one in
+    delivery order, and — because both engines are bit-identical — a
+    checkpoint written by either engine resumes under the other without
+    changing a single result byte (the ``run_key`` is engine-agnostic
+    on purpose).
     """
     if checkpoint_every < 1:
         raise ConfigError("checkpoint_every must be at least 1")
+    engine_name = resolve_engine(engine)
+    if engine_name == "batched" and supervisor is not None:
+        raise ConfigError(
+            "engine='batched' runs in-process; it cannot execute through "
+            "a SupervisedPool"
+        )
     if ledger_path is not None and guard is None:
         raise ConfigError("a violation ledger needs a guard config")
     tasks, skeleton = plan_cluster_tasks(
@@ -236,9 +252,6 @@ def run_cluster_checkpointed(
 
     pending = [i for i in range(len(exec_tasks)) if i not in completed]
     if pending:
-        pool = supervisor if supervisor is not None else SupervisedPool(
-            workers=workers
-        )
         since_save = 0
 
         def _on_result(position: int, outcome: LevelOutcome) -> None:
@@ -249,11 +262,23 @@ def run_cluster_checkpointed(
                 _save()
                 since_save = 0
 
-        pool.map_ordered(
-            _run_cell,
-            [exec_tasks[i] for i in pending],
-            on_result=_on_result,
-        )
+        if engine_name == "batched":
+            # Imported lazily for the same layering reason as in
+            # run_cluster: the batched core sits above repro.sim.
+            from repro.engine.batched import run_batched_cells
+
+            run_batched_cells(
+                [exec_tasks[i] for i in pending], on_result=_on_result
+            )
+        else:
+            pool = supervisor if supervisor is not None else SupervisedPool(
+                workers=workers
+            )
+            pool.map_ordered(
+                _run_cell,
+                [exec_tasks[i] for i in pending],
+                on_result=_on_result,
+            )
     _save()
     if dedupe:
         skeleton.outcomes.extend(completed[first_index[key]] for key in keys)

@@ -24,6 +24,7 @@ from repro.apps.latency_critical import LatencyCriticalApp
 from repro.core.placement import assign_with_fallback
 from repro.core.server_manager import ServerManagerBase
 from repro.engine.parallel import CellKey, map_ordered
+from repro.engine.select import resolve_engine
 from repro.errors import ConfigError
 from repro.faults.cluster import (
     ClusterFaultPlan,
@@ -227,6 +228,7 @@ def run_cluster(
     workers: int = 1,
     dedupe: bool = False,
     guard: Optional[GuardConfig] = None,
+    engine: Optional[str] = None,
 ) -> ClusterRunResult:
     """Run every server plan at every load level, fresh state per cell.
 
@@ -252,11 +254,32 @@ def run_cluster(
     :mod:`repro.guard` in every cell: each outcome carries a
     ``guard_report``, and enforce mode fails the run on the first
     violation.
+
+    ``engine`` selects the execution core: ``"object"`` runs each cell
+    through its own :class:`~repro.sim.colocation.ColocationSim` (the
+    oracle), ``"batched"`` advances all compatible cells together as
+    numpy lanes (:mod:`repro.engine.batched`) and falls back to the
+    oracle per cell it cannot claim.  ``None`` uses the ambient default
+    (:func:`repro.engine.select.default_engine`).  Both are bit-identical
+    — the batched differential suite pins it.
     """
     tasks, result = plan_cluster_tasks(
         plans, spec, levels, duration_s, config, fault_plan, guard=guard
     )
     keys = [_cell_key(*task) for task in tasks] if dedupe else None
+    engine_name = resolve_engine(engine)
+    if engine_name == "batched":
+        if workers != 1:
+            raise ConfigError(
+                "engine='batched' runs in-process; it cannot be combined "
+                "with a process pool (workers must be 1)"
+            )
+        # Imported lazily: the batched core builds on ColocationSim's
+        # module surface, so a top-level import would be circular.
+        from repro.engine.batched import run_batched_cells
+
+        result.outcomes.extend(run_batched_cells(tasks, keys=keys))
+        return result
     result.outcomes.extend(map_ordered(_run_cell, tasks, workers=workers, keys=keys))
     return result
 

@@ -254,6 +254,7 @@ class ColocationSim:
                     manager=self.manager,
                     faults=self.faults,
                     rng=self._rng,
+                    final=tick == n_ticks - 1,
                 ))
             if in_window:
                 if true_slack < 0:

@@ -101,6 +101,16 @@ class Telemetry:
             self._series[name] = TimeSeries(name=name)
         return self._series[name]
 
+    def attach(self, series: TimeSeries) -> None:
+        """Adopt a fully-built series under its own name.
+
+        Bulk-assembly fast path (the batched engine builds thousands of
+        telemetry bundles per sweep): equivalent to creating the series
+        via :meth:`series` and appending every point, including its
+        position in creation order, but without per-point calls.
+        """
+        self._series[series.name] = series
+
     def record(self, name: str, time_s: float, value: float) -> None:
         """Shortcut: append to the series called ``name``."""
         self.series(name).record(time_s, value)

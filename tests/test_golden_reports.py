@@ -19,6 +19,7 @@ import pathlib
 
 import pytest
 
+from repro.engine.select import default_engine
 from repro.evaluation import reports
 from repro.evaluation.pipeline import fit_catalog
 
@@ -38,6 +39,26 @@ def test_golden_report_matches_committed(catalog, filename, builder):
         f"{filename} drifted from its committed snapshot; if the change "
         "is intended, regenerate via the benchmark and commit the file "
         "(see this module's docstring)"
+    )
+
+
+@pytest.mark.parametrize("filename,builder", reports.GOLDEN_REPORTS)
+def test_golden_report_matches_under_batched_engine(
+    catalog, filename, builder
+):
+    """The engine knob must not leak into report rendering.
+
+    Selecting the batched simulation core changes *how* sweeps execute,
+    never *what* any artifact contains — the pinned ablation reports
+    regenerate byte-for-byte with ``engine="batched"`` as the session
+    default.
+    """
+    committed = (OUT_DIR / filename).read_text()
+    with default_engine("batched"):
+        regenerated = getattr(reports, builder)(catalog) + "\n"
+    assert regenerated == committed, (
+        f"{filename} drifted when regenerated under engine='batched'; "
+        "the engine selection must be result-invariant"
     )
 
 

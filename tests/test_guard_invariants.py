@@ -52,7 +52,7 @@ def server(spec, lc_apps, be_apps):
 
 
 def sample_at(server, time_s=1.0, power_w=None, capper=None, faults=None,
-              in_window=True):
+              in_window=True, final=False):
     """A GuardSample over ``server`` with stubbed capper/manager."""
     return GuardSample(
         time_s=time_s,
@@ -63,6 +63,7 @@ def sample_at(server, time_s=1.0, power_w=None, capper=None, faults=None,
         manager=SimpleNamespace(),
         faults=faults,
         rng=np.random.default_rng(0),
+        final=final,
     )
 
 
@@ -208,6 +209,33 @@ class TestEnergyConservationInvariant:
         assert [h is not None for h in hits] == [
             True, False, False, False, True, False, False, False,
         ]
+
+    def test_final_tick_checks_despite_stride(self, server):
+        """Regression: a cell shorter than the stride still gets its
+        cumulative check — the final sample always evaluates."""
+        config = GuardConfig(deep_check_every=100)
+        inv = EnergyConservationInvariant(config)
+        bogus = server.power_w() + 7.0
+        assert inv.observe(sample_at(server, power_w=bogus)) is not None
+        for _ in range(3):
+            assert inv.observe(sample_at(server, power_w=bogus)) is None
+        violation = inv.observe(
+            sample_at(server, power_w=bogus, final=True)
+        )
+        assert violation is not None
+        assert violation.invariant == "energy-conservation"
+
+    def test_final_tick_rng_check_despite_stride(self, server):
+        """Same regression for the other strided (cumulative) check."""
+        config = GuardConfig(deep_check_every=100)
+        inv = RngIsolationInvariant(config)
+        assert inv.observe(sample_at(server)) is None  # baselines
+        np.random.random()  # pocolint: disable=nondeterminism
+        for _ in range(3):
+            assert inv.observe(sample_at(server)) is None
+        violation = inv.observe(sample_at(server, final=True))
+        assert violation is not None
+        assert violation.invariant == "rng-isolation"
 
 
 class TestLcSloFloorInvariant:

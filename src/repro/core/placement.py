@@ -36,6 +36,12 @@ from repro.workloads.traces import UNIFORM_EVAL_LEVELS
 #: (mirrors POM's initial headroom).
 DEFAULT_PLACEMENT_MARGIN = 1.20
 
+#: Seed for the fallback generator of :func:`random_placement` when the
+#: caller does not inject one.  The random baseline is still *random
+#: across seeds* (callers pass their own rng in sweeps); the default
+#: merely makes a bare call reproducible run-to-run.
+DEFAULT_PLACEMENT_SEED = 0
+
 
 @dataclass(frozen=True)
 class LcServerSide:
@@ -269,7 +275,9 @@ def random_placement(
     available latency-critical server" (Section V-D)."""
     if len(be_names) > len(lc_names):
         raise ConfigError("more BE apps than LC servers; cannot place 1:1")
-    generator = rng if rng is not None else np.random.default_rng()
+    generator = rng if rng is not None else np.random.default_rng(
+        DEFAULT_PLACEMENT_SEED
+    )
     chosen = generator.permutation(len(lc_names))[: len(be_names)]
     mapping = {be: lc_names[int(j)] for be, j in zip(be_names, chosen)}
     return PlacementDecision(mapping=mapping, predicted_total=float("nan"),

@@ -48,6 +48,8 @@ Manager factories are assumed deterministic — the same purity contract
 cell dedupe already relies on.
 """
 
+# pocolint: lane-module
+
 from __future__ import annotations
 
 import copy

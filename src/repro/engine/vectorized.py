@@ -27,6 +27,8 @@ frozen dataclasses, so the cache key is the value itself, and repeated
 matrix builds over the same fleet skip the integer neighborhood search.
 """
 
+# pocolint: lane-module
+
 from __future__ import annotations
 
 import sys

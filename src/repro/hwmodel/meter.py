@@ -21,6 +21,11 @@ from repro.errors import ConfigError, SimulationError
 #: The paper's power-sampling interval (Section IV-C).
 DEFAULT_SAMPLE_INTERVAL_S = 0.1
 
+#: Seed for the fallback noise generator when a meter is built without
+#: an injected rng; simulations that care pass their own seeded
+#: generator, and a bare ``PowerMeter(...)`` stays reproducible.
+DEFAULT_METER_SEED = 0
+
 
 @dataclass(frozen=True)
 class PowerReading:
@@ -65,7 +70,9 @@ class PowerMeter:
         if interval_s <= 0:
             raise ConfigError("sampling interval must be positive")
         self._source = source
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = (
+            rng if rng is not None else np.random.default_rng(DEFAULT_METER_SEED)
+        )
         self._noise_sigma_w = noise_sigma_w
         self._ewma_alpha = ewma_alpha
         self.interval_s = interval_s

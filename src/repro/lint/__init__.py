@@ -27,7 +27,19 @@ POCO501    ``atomic-artifacts`` durable files go through
                                 ``repro.runtime.atomic``
 POCO601    ``hand-rolled-tolerance`` power/energy tolerance checks go
                                 through ``repro.guard.tolerance``
+POCO701    ``unit-flow``        interprocedural unit inference across
+                                assignments, call sites and returns
+POCO801    ``lane-safety``      lane modules: no view-aliased writes,
+                                float32 narrowing or axis= reductions
+POCO901    ``determinism-taint`` nondeterminism must not reach
+                                checkpoints/telemetry/ledger/pickles
 ========== ==================== ==========================================
+
+The first six families are per-file syntactic checks; the 7xx/8xx/9xx
+families run the whole-program dataflow engine (:mod:`repro.lint.graph`
+builds symbol tables and a call graph, :mod:`repro.lint.dataflow` is
+the abstract interpreter, :mod:`repro.lint.summaries` computes
+interprocedural fixpoints).
 
 Run it as ``python -m repro.lint [paths ...]``; see ``docs/LINTING.md``
 for the rule catalogue, suppression syntax

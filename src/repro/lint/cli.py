@@ -8,19 +8,28 @@ Exit codes follow the convention CI expects:
 
 ``--format=text`` (default) prints one ``path:line:col: CODE[rule]
 message`` line per finding plus a summary; ``--format=json`` emits a
-machine-readable document with per-rule counts.  ``--write-baseline``
-records the current findings as the new baseline instead of failing on
-them — the hygiene ratchet in ``tests/test_repo_hygiene.py`` keeps that
-honest by refusing baselines that grow.
+machine-readable document with per-rule counts; ``--format=sarif``
+emits a SARIF 2.1.0 document for code-scanning backends; and
+``--format=github`` emits GitHub Actions ``::error`` annotations.
+``--write-baseline`` records the current findings as the new baseline
+instead of failing on them — the hygiene ratchet in
+``tests/test_repo_hygiene.py`` keeps that honest by refusing baselines
+that grow.
+
+``--changed-only`` lints just the files the working tree changed
+(``git diff`` + untracked), restoring the rest of the project's symbol
+tables and interprocedural summaries from the content-hash cache in
+``.pocolint-cache.json`` so whole-program findings stay correct.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from repro.errors import LintError
 from repro.lint.baseline import Baseline
@@ -47,9 +56,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif", "github"),
         default="text",
-        help="report format (default: text)",
+        help=(
+            "report format: text, json, sarif (SARIF 2.1.0) or github "
+            "(Actions ::error annotations; default: text)"
+        ),
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "lint only files changed in the git working tree, using the "
+            "content-hash cache for the unchanged project context"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "project cache for --changed-only "
+            "(default: .pocolint-cache.json next to the baseline)"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -144,6 +174,42 @@ def _render_json(
     print(file=stream)
 
 
+def _git_changed_paths(root: Path) -> Set[str]:
+    """Root-relative posix paths of changed + untracked ``*.py`` files."""
+    commands = (
+        ["git", "-C", str(root), "diff", "--name-only", "HEAD", "--"],
+        ["git", "-C", str(root), "ls-files", "--others", "--exclude-standard"],
+    )
+    toplevel_proc = subprocess.run(
+        ["git", "-C", str(root), "rev-parse", "--show-toplevel"],
+        capture_output=True,
+        text=True,
+    )
+    if toplevel_proc.returncode != 0:
+        raise LintError(
+            f"--changed-only needs a git work tree at {root}: "
+            f"{toplevel_proc.stderr.strip()}"
+        )
+    toplevel = Path(toplevel_proc.stdout.strip())
+    changed: Set[str] = set()
+    for command in commands:
+        proc = subprocess.run(command, capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise LintError(
+                f"git failed for --changed-only: {proc.stderr.strip()}"
+            )
+        for line in proc.stdout.splitlines():
+            name = line.strip()
+            if not name.endswith(".py"):
+                continue
+            absolute = toplevel / name
+            try:
+                changed.add(absolute.relative_to(root).as_posix())
+            except ValueError:
+                changed.add(absolute.as_posix())
+    return changed
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -161,9 +227,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             root = baseline_path.resolve().parent
         else:
             root = Path.cwd()
-        findings = lint_paths(
-            [Path(p).resolve() for p in args.paths], rules=rules, root=root
-        )
+        if args.changed_only:
+            # Imported lazily: the cache driver pulls in the summary
+            # machinery, which plain runs never need.
+            from repro.lint.cache import DEFAULT_CACHE_NAME, lint_paths_cached
+
+            cache_path = (
+                args.cache if args.cache is not None
+                else root / DEFAULT_CACHE_NAME
+            )
+            findings = lint_paths_cached(
+                [Path(p).resolve() for p in args.paths],
+                rules=rules,
+                root=root,
+                changed=sorted(_git_changed_paths(root)),
+                cache_path=cache_path,
+            )
+        else:
+            findings = lint_paths(
+                [Path(p).resolve() for p in args.paths], rules=rules, root=root
+            )
         if args.write_baseline:
             if baseline_path is None:  # pragma: no cover - argparse default
                 raise LintError("--write-baseline needs a baseline path")
@@ -184,6 +267,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     if args.format == "json":
         _render_json(new, old)
+    elif args.format == "sarif":
+        from repro.lint.formats import render_sarif
+
+        render_sarif(new, rules)
+    elif args.format == "github":
+        from repro.lint.formats import render_github
+
+        render_github(new, old)
     else:
         _render_text(new, old)
     return 1 if new else 0

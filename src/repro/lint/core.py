@@ -27,6 +27,12 @@ from repro.errors import LintError
 #: Matches ``# pocolint: disable=rule-a,rule-b`` (or ``disable=all``).
 _SUPPRESS_RE = re.compile(r"#\s*pocolint:\s*disable=([A-Za-z0-9_,\- ]+)")
 
+#: Matches module-scope directives: ``# pocolint: lane-module``.
+#: Directives opt a whole module into rule families that need explicit
+#: scoping (POCO801 treats every numpy array in a lane module as lane
+#: state); unknown directives are ignored so old linters skip them.
+_DIRECTIVE_RE = re.compile(r"#\s*pocolint:\s*([a-z][a-z\-]*)\s*$")
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -64,6 +70,11 @@ class LintContext:
     source: str
     tree: ast.Module
     suppressed: Dict[int, frozenset] = field(default_factory=dict)
+    #: module-scope directives (``# pocolint: lane-module``)
+    directives: frozenset = frozenset()
+    #: whole-program view, set by the project-aware drivers; None when a
+    #: single source string is linted without project context
+    project: Optional[object] = None
 
     @classmethod
     def from_source(cls, source: str, path: str) -> "LintContext":
@@ -71,12 +82,17 @@ class LintContext:
             tree = ast.parse(source, filename=path)
         except SyntaxError as exc:
             raise LintError(f"{path}: cannot parse: {exc}") from exc
+        suppressed, directives = _scan_comments(source)
         return cls(
             path=path,
             source=source,
             tree=tree,
-            suppressed=_collect_suppressions(source),
+            suppressed=suppressed,
+            directives=directives,
         )
+
+    def has_directive(self, name: str) -> bool:
+        return name in self.directives
 
     def is_suppressed(self, finding: Finding) -> bool:
         rules = self.suppressed.get(finding.line)
@@ -85,32 +101,37 @@ class LintContext:
         return "all" in rules or finding.rule_id in rules
 
 
-def _collect_suppressions(source: str) -> Dict[int, frozenset]:
-    """Map line number -> rule ids disabled on that physical line.
+def _scan_comments(source: str) -> tuple:
+    """Collect suppressions and module directives from comment tokens.
 
-    Comments are found with :mod:`tokenize` rather than a per-line regex
-    so that ``pocolint: disable`` *inside a string literal* does not
-    suppress anything.
+    Suppressions map line number -> rule ids disabled on that physical
+    line; directives are module-wide markers.  Comments are found with
+    :mod:`tokenize` rather than a per-line regex so that ``pocolint:
+    disable`` *inside a string literal* does not suppress anything.
     """
     suppressed: Dict[int, frozenset] = {}
+    directives: set = set()
     lines = source.splitlines(keepends=True)
     readline = iter(lines).__next__
     try:
         tokens = list(tokenize.generate_tokens(readline))
     except (tokenize.TokenError, IndentationError, SyntaxError):
-        return suppressed
+        return suppressed, frozenset()
     for tok in tokens:
         if tok.type != tokenize.COMMENT:
             continue
         match = _SUPPRESS_RE.search(tok.string)
-        if match is None:
+        if match is not None:
+            names = frozenset(
+                name.strip() for name in match.group(1).split(",") if name.strip()
+            )
+            if names:
+                suppressed[tok.start[0]] = names
             continue
-        names = frozenset(
-            name.strip() for name in match.group(1).split(",") if name.strip()
-        )
-        if names:
-            suppressed[tok.start[0]] = names
-    return suppressed
+        directive = _DIRECTIVE_RE.search(tok.string)
+        if directive is not None and directive.group(1) != "disable":
+            directives.add(directive.group(1))
+    return suppressed, frozenset(directives)
 
 
 class Rule:
@@ -124,6 +145,10 @@ class Rule:
     rule_id: str = ""
     code: str = ""
     summary: str = ""
+    #: Whole-program rules (POCO701/801/901) need ``ctx.project`` to be a
+    #: :class:`repro.lint.graph.Project`; the drivers build one covering
+    #: every file in the run before such a rule is invoked.
+    requires_project: bool = False
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
         raise NotImplementedError
@@ -179,24 +204,57 @@ def _sorted_findings(findings: Iterable[Finding]) -> List[Finding]:
     )
 
 
-def lint_source(
-    source: str, path: str = "<string>", rules: Optional[Sequence[Rule]] = None
+def _attach_project(
+    contexts: Sequence[LintContext], rules: Sequence[Rule]
+) -> None:
+    """Build one Project over ``contexts`` when any rule needs it."""
+    if not any(rule.requires_project for rule in rules):
+        return
+    # Imported lazily: graph builds on LintContext, so a module-level
+    # import here would be circular.
+    from repro.lint.graph import Project
+
+    project = Project.from_contexts(contexts)
+    for ctx in contexts:
+        ctx.project = project
+
+
+def _check_contexts(
+    contexts: Sequence[LintContext],
+    rules: Sequence[Rule],
+    project: Optional[object] = None,
 ) -> List[Finding]:
-    """Lint one source string; returns sorted, suppression-filtered findings."""
-    ctx = LintContext.from_source(source, path)
-    active = list(rules) if rules is not None else all_rules()
+    """Run ``rules`` over ``contexts``; ``project`` injects a pre-built
+    whole-program view (the cached ``--changed-only`` driver), otherwise
+    one is constructed on demand."""
+    if project is not None:
+        for ctx in contexts:
+            ctx.project = project
+    else:
+        _attach_project(contexts, rules)
     findings: List[Finding] = []
-    for rule in active:
-        for finding in rule.check(ctx):
-            if not ctx.is_suppressed(finding):
-                findings.append(finding)
+    for ctx in contexts:
+        for rule in rules:
+            for finding in rule.check(ctx):
+                if not ctx.is_suppressed(finding):
+                    findings.append(finding)
     return _sorted_findings(findings)
 
 
-def lint_file(
-    path: Path, rules: Optional[Sequence[Rule]] = None, root: Optional[Path] = None
+def lint_source(
+    source: str, path: str = "<string>", rules: Optional[Sequence[Rule]] = None
 ) -> List[Finding]:
-    """Lint one file; ``root`` relativizes the reported path when given."""
+    """Lint one source string; returns sorted, suppression-filtered findings.
+
+    Whole-program rules see a single-module project, so intraprocedural
+    and same-file interprocedural findings still fire.
+    """
+    ctx = LintContext.from_source(source, path)
+    active = list(rules) if rules is not None else all_rules()
+    return _check_contexts([ctx], active)
+
+
+def _read_context(path: Path, root: Optional[Path]) -> LintContext:
     try:
         source = path.read_text(encoding="utf-8")
     except OSError as exc:
@@ -207,7 +265,16 @@ def lint_file(
             shown = path.relative_to(root)
         except ValueError:
             shown = path
-    return lint_source(source, path=shown.as_posix(), rules=rules)
+    return LintContext.from_source(source, path=shown.as_posix())
+
+
+def lint_file(
+    path: Path, rules: Optional[Sequence[Rule]] = None, root: Optional[Path] = None
+) -> List[Finding]:
+    """Lint one file; ``root`` relativizes the reported path when given."""
+    ctx = _read_context(path, root)
+    active = list(rules) if rules is not None else all_rules()
+    return _check_contexts([ctx], active)
 
 
 def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
@@ -225,9 +292,22 @@ def lint_paths(
     paths: Sequence[Path],
     rules: Optional[Sequence[Rule]] = None,
     root: Optional[Path] = None,
+    report_only: Optional[Sequence[str]] = None,
 ) -> List[Finding]:
-    """Lint every ``*.py`` under ``paths`` (files or directories)."""
-    findings: List[Finding] = []
-    for file_path in iter_python_files(paths):
-        findings.extend(lint_file(file_path, rules=rules, root=root))
-    return _sorted_findings(findings)
+    """Lint every ``*.py`` under ``paths`` (files or directories).
+
+    All files are parsed into one whole-program project before any
+    project-aware rule runs, so interprocedural findings cross file
+    boundaries.  ``report_only`` (reported paths, posix) restricts which
+    files produce findings without shrinking the project — the
+    ``--changed-only`` CLI mode lints the diff against full context.
+    """
+    active = list(rules) if rules is not None else all_rules()
+    contexts = [
+        _read_context(file_path, root) for file_path in iter_python_files(paths)
+    ]
+    findings = _check_contexts(contexts, active)
+    if report_only is not None:
+        wanted = set(report_only)
+        findings = [f for f in findings if f.path in wanted]
+    return findings

@@ -1,0 +1,297 @@
+"""Lattice-based intraprocedural dataflow for pocolint v2 rules.
+
+:class:`DataflowAnalysis` is a structural forward abstract interpreter
+over one function body.  A rule defines an abstract domain by
+overriding :meth:`bottom` / :meth:`join` and the expression evaluator,
+and the engine supplies the control-flow plumbing:
+
+* straight-line transfer through ``Assign`` / ``AnnAssign`` /
+  ``AugAssign`` (tuple targets are destructured when the value is a
+  literal tuple, otherwise every bound name drops to bottom);
+* branch **join** at ``if``/``else`` merges and ``try`` handlers;
+* loop **fixpoints**: ``for``/``while`` bodies are re-interpreted until
+  the environment stabilizes (joined with the pre-loop state each
+  round, so the iteration is monotone) with a hard iteration cap;
+* ``return`` collection — every return site's abstract value is
+  recorded for the interprocedural summaries in
+  :mod:`repro.lint.summaries`.
+
+Environments map variable names (and ``self.attr`` pseudo-names) to
+abstract values.  A missing binding means *bottom*.  The engine never
+raises on unexpected syntax: anything it does not model evaluates to
+bottom, which keeps every rule built on it conservative — unknown code
+produces no findings, not wrong ones.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Hard cap on loop re-interpretation rounds; the environments are
+#: small agreement lattices, so stabilization is fast in practice.
+MAX_LOOP_PASSES = 8
+
+Env = Dict[str, Any]
+
+
+class DataflowAnalysis:
+    """Forward abstract interpretation over one function body."""
+
+    def __init__(self) -> None:
+        #: (return node, abstract value) per return statement reached
+        self.returns: List[Tuple[ast.Return, Any]] = []
+
+    # -- the abstract domain (override in subclasses) ----------------------
+
+    def bottom(self) -> Any:
+        return None
+
+    def join(self, a: Any, b: Any) -> Any:
+        """Default: agreement lattice — equal values survive a merge."""
+        if a == b:
+            return a
+        if a is None:
+            return b if self.join_with_bottom_keeps_value() else None
+        if b is None:
+            return a if self.join_with_bottom_keeps_value() else None
+        return self.join_conflict(a, b)
+
+    def join_with_bottom_keeps_value(self) -> bool:
+        """Whether ``join(v, bottom) == v`` (a *may* analysis like taint)
+        or ``bottom`` (a *must* analysis like unit agreement)."""
+        return False
+
+    def join_conflict(self, a: Any, b: Any) -> Any:
+        """Merge two different non-bottom values (default: give up)."""
+        return None
+
+    # -- expression evaluation (override pieces in subclasses) -------------
+
+    def eval_expr(self, node: Optional[ast.expr], env: Env) -> Any:
+        if node is None:
+            return self.bottom()
+        method = getattr(self, f"eval_{type(node).__name__}", None)
+        if method is not None:
+            return method(node, env)
+        return self.eval_children(node, env)
+
+    def eval_children(self, node: ast.expr, env: Env) -> Any:
+        """Evaluate sub-expressions (for their hooks) and return bottom.
+
+        May-analyses (taint) override this to *join* child values so any
+        tainted operand taints the enclosing expression.
+        """
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval_expr(child, env)
+        return self.bottom()
+
+    def eval_Name(self, node: ast.Name, env: Env) -> Any:
+        return env.get(node.id, self.bottom())
+
+    def eval_IfExp(self, node: ast.IfExp, env: Env) -> Any:
+        self.eval_expr(node.test, env)
+        return self.join(
+            self.eval_expr(node.body, env), self.eval_expr(node.orelse, env)
+        )
+
+    # -- assignment transfer ----------------------------------------------
+
+    def bind(self, name: str, value: Any, node: ast.AST, env: Env) -> None:
+        """Bind a plain name; rules hook here to check annotated names."""
+        env[name] = value
+
+    def bind_target(self, target: ast.expr, value: Any, node: ast.AST, env: Env) -> None:
+        if isinstance(target, ast.Name):
+            self.bind(target.id, value, node, env)
+        elif isinstance(target, ast.Attribute):
+            pseudo = _self_attr_name(target)
+            if pseudo is not None:
+                self.bind(pseudo, value, node, env)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            self._bind_tuple(target, value, node, env)
+        elif isinstance(target, ast.Subscript):
+            self.on_subscript_store(target, value, node, env)
+        elif isinstance(target, ast.Starred):
+            self.bind_target(target.value, self.bottom(), node, env)
+
+    def _bind_tuple(
+        self, target: ast.expr, value: Any, node: ast.AST, env: Env
+    ) -> None:
+        elements = getattr(target, "elts", [])
+        source = node.value if isinstance(node, (ast.Assign, ast.AnnAssign)) else None
+        if isinstance(source, (ast.Tuple, ast.List)) and len(source.elts) == len(
+            elements
+        ):
+            for elt_target, elt_value in zip(elements, source.elts):
+                self.bind_target(
+                    elt_target, self.eval_expr(elt_value, env), node, env
+                )
+        else:
+            for elt_target in elements:
+                self.bind_target(elt_target, self.bottom(), node, env)
+
+    def on_subscript_store(
+        self, target: ast.Subscript, value: Any, node: ast.AST, env: Env
+    ) -> None:
+        """Hook: ``x[...] = value``.  Default: evaluate the base."""
+        self.eval_expr(target.value, env)
+        self.eval_expr(target.slice, env)
+
+    def on_aug_assign(self, node: ast.AugAssign, value: Any, env: Env) -> None:
+        """Hook: ``x += value`` before the (conservative) rebind."""
+
+    def iter_element(self, iter_value: Any, node: ast.expr, env: Env) -> Any:
+        """Abstract value of one element drawn from ``for _ in iterable``."""
+        return self.bottom()
+
+    # -- statement interpretation ------------------------------------------
+
+    def run(self, body: List[ast.stmt], env: Optional[Env] = None) -> Env:
+        environment: Env = {} if env is None else env
+        for stmt in body:
+            self.execute(stmt, environment)
+        return environment
+
+    def execute(self, stmt: ast.stmt, env: Env) -> None:
+        method = getattr(self, f"exec_{type(stmt).__name__}", None)
+        if method is not None:
+            method(stmt, env)
+            return
+        # Unmodeled statements: evaluate embedded expressions so call
+        # hooks still fire, then fall through without binding anything.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self.eval_expr(child, env)
+
+    def exec_Assign(self, stmt: ast.Assign, env: Env) -> None:
+        value = self.eval_expr(stmt.value, env)
+        for target in stmt.targets:
+            self.bind_target(target, value, stmt, env)
+
+    def exec_AnnAssign(self, stmt: ast.AnnAssign, env: Env) -> None:
+        if stmt.value is None:
+            return
+        value = self.eval_expr(stmt.value, env)
+        self.bind_target(stmt.target, value, stmt, env)
+
+    def exec_AugAssign(self, stmt: ast.AugAssign, env: Env) -> None:
+        value = self.eval_expr(stmt.value, env)
+        self.on_aug_assign(stmt, value, env)
+        current = self.eval_expr(stmt.target, env) if isinstance(
+            stmt.target, (ast.Name, ast.Attribute)
+        ) else self.bottom()
+        self.bind_target(stmt.target, self.join(current, value), stmt, env)
+
+    def exec_Expr(self, stmt: ast.Expr, env: Env) -> None:
+        self.eval_expr(stmt.value, env)
+
+    def exec_Return(self, stmt: ast.Return, env: Env) -> None:
+        value = self.eval_expr(stmt.value, env)
+        self.returns.append((stmt, value))
+
+    def exec_If(self, stmt: ast.If, env: Env) -> None:
+        self.eval_expr(stmt.test, env)
+        then_env = dict(env)
+        self.run(stmt.body, then_env)
+        else_env = dict(env)
+        self.run(stmt.orelse, else_env)
+        _merge_into(env, then_env, else_env, self.join, self.bottom())
+
+    def exec_While(self, stmt: ast.While, env: Env) -> None:
+        self.eval_expr(stmt.test, env)
+        self._loop_fixpoint(stmt.body, env)
+        self.run(stmt.orelse, env)
+
+    def exec_For(self, stmt: ast.For, env: Env) -> None:
+        iter_value = self.eval_expr(stmt.iter, env)
+        self.bind_target(
+            stmt.target, self.iter_element(iter_value, stmt.iter, env), stmt, env
+        )
+        self._loop_fixpoint(stmt.body, env)
+        self.run(stmt.orelse, env)
+
+    def _loop_fixpoint(self, body: List[ast.stmt], env: Env) -> None:
+        for _ in range(MAX_LOOP_PASSES):
+            round_env = dict(env)
+            self.run(body, round_env)
+            merged = dict(env)
+            _merge_into(merged, dict(env), round_env, self.join, self.bottom())
+            if merged == env:
+                break
+            env.clear()
+            env.update(merged)
+
+    def exec_Try(self, stmt: ast.Try, env: Env) -> None:
+        body_env = dict(env)
+        self.run(stmt.body, body_env)
+        branches = [body_env]
+        for handler in stmt.handlers:
+            handler_env = dict(env)
+            _merge_into(
+                handler_env, dict(env), dict(body_env), self.join, self.bottom()
+            )
+            if handler.name:
+                handler_env[handler.name] = self.bottom()
+            self.run(handler.body, handler_env)
+            branches.append(handler_env)
+        merged = branches[0]
+        for branch in branches[1:]:
+            out: Env = dict(merged)
+            _merge_into(out, merged, branch, self.join, self.bottom())
+            merged = out
+        env.clear()
+        env.update(merged)
+        self.run(stmt.orelse, env)
+        self.run(stmt.finalbody, env)
+
+    def exec_With(self, stmt: ast.With, env: Env) -> None:
+        for item in stmt.items:
+            value = self.eval_expr(item.context_expr, env)
+            if item.optional_vars is not None:
+                self.bind_target(item.optional_vars, value, stmt, env)
+        self.run(stmt.body, env)
+
+    def exec_FunctionDef(self, stmt: ast.stmt, env: Env) -> None:
+        # Nested defs are opaque: bind the name, skip the body.
+        env[getattr(stmt, "name", "")] = self.bottom()
+
+    exec_AsyncFunctionDef = exec_FunctionDef
+    exec_ClassDef = exec_FunctionDef
+
+    # -- entry point -------------------------------------------------------
+
+    def run_function(
+        self, func: ast.AST, initial: Optional[Env] = None
+    ) -> Env:
+        """Interpret a function body; seeds come from ``initial``."""
+        env: Env = dict(initial) if initial else {}
+        body = getattr(func, "body", [])
+        return self.run(list(body), env)
+
+    def return_value(self) -> Any:
+        """Join of every return site's abstract value."""
+        value = self.bottom()
+        for index, (_, site_value) in enumerate(self.returns):
+            value = site_value if index == 0 else self.join(value, site_value)
+        return value
+
+
+def _self_attr_name(node: ast.Attribute) -> Optional[str]:
+    if isinstance(node.value, ast.Name) and node.value.id == "self":
+        return f"self.{node.attr}"
+    return None
+
+
+def self_attr_name(node: ast.expr) -> Optional[str]:
+    """Public spelling of the ``self.attr`` pseudo-binding, or None."""
+    if isinstance(node, ast.Attribute):
+        return _self_attr_name(node)
+    return None
+
+
+def _merge_into(target: Env, a: Env, b: Env, join: Any, bottom: Any) -> None:
+    target.clear()
+    for key in set(a) | set(b):
+        target[key] = join(a.get(key, bottom), b.get(key, bottom))

@@ -1,0 +1,130 @@
+"""Report renderers for the pocolint CLI: SARIF 2.1.0 and GitHub.
+
+``--format sarif`` emits a static-analysis interchange document (SARIF
+2.1.0) that code-scanning backends ingest directly; every registered
+rule appears in the tool's rule catalogue and every new finding becomes
+a ``result`` with a physical location.  Column numbers are converted
+from pocolint's 0-based ``col_offset`` to SARIF's 1-based columns.
+
+``--format github`` emits GitHub Actions workflow commands
+(``::error file=...,line=...``) so findings surface as inline
+annotations on the pull-request diff; the human summary goes to the
+same stream as an ordinary log line.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List, Sequence
+
+from repro.lint.core import Finding, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def sarif_document(
+    new: Sequence[Finding], rules: Sequence[Rule]
+) -> Dict[str, object]:
+    """The SARIF 2.1.0 run for one lint invocation (new findings only:
+    baseline-absorbed findings are deliberately not re-reported)."""
+    rule_index: Dict[str, int] = {}
+    catalogue: List[dict] = []
+    for position, rule in enumerate(rules):
+        rule_index[rule.code] = position
+        catalogue.append(
+            {
+                "id": rule.code,
+                "name": rule.rule_id,
+                "shortDescription": {"text": rule.summary},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    results = [
+        {
+            "ruleId": finding.code,
+            "ruleIndex": rule_index.get(finding.code, -1),
+            "level": "error",
+            "message": {"text": f"[{finding.rule_id}] {finding.message}"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in new
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "pocolint",
+                        "informationUri": "docs/LINTING.md",
+                        "rules": catalogue,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    new: Sequence[Finding], rules: Sequence[Rule], stream=None
+) -> None:
+    stream = stream if stream is not None else sys.stdout
+    json.dump(sarif_document(new, rules), stream, indent=2)
+    print(file=stream)
+
+
+def _escape_property(value: str) -> str:
+    """Escape a workflow-command *property* value (file=, title=)."""
+    return (
+        value.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+        .replace(":", "%3A")
+        .replace(",", "%2C")
+    )
+
+
+def _escape_data(value: str) -> str:
+    """Escape workflow-command message data."""
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def render_github(
+    new: Sequence[Finding], old: Sequence[Finding], stream=None
+) -> None:
+    stream = stream if stream is not None else sys.stdout
+    for finding in new:
+        title = _escape_property(f"{finding.code}[{finding.rule_id}]")
+        print(
+            f"::error file={_escape_property(finding.path)},"
+            f"line={finding.line},col={finding.col + 1},"
+            f"title={title}::{_escape_data(finding.message)}",
+            file=stream,
+        )
+    noun = "finding" if len(new) == 1 else "findings"
+    suffix = f" ({len(old)} grandfathered by baseline)" if old else ""
+    if new:
+        print(f"pocolint: {len(new)} new {noun}{suffix}", file=stream)
+    else:
+        print(f"pocolint: clean{suffix}", file=stream)

@@ -1,0 +1,274 @@
+"""POCO901 ``determinism-taint`` — nondeterminism source→sink tracking.
+
+POCO201 flags nondeterministic *calls* where they happen; this rule
+answers the question that actually matters for reproducibility: does a
+nondeterministic value **reach durable or cross-process state**?  Taint
+enters at wall clocks (``time.time``), unseeded RNG constructors,
+``os.environ`` reads and set-order iteration; it propagates through
+assignments, call arguments and return values (interprocedural, via
+:func:`repro.lint.summaries.taint_summaries`); and it is reported only
+when it arrives at a sink:
+
+* **checkpointed state** — arguments to ``Checkpoint(...)`` and the
+  return value of any ``export_state()`` method (the codec contract in
+  docs/ENGINE.md: exported state must replay bit-identically);
+* **telemetry** — ``telemetry.record(...)`` / ``series.record(...)``
+  samples, which land in result artifacts compared across runs;
+* **guard ledger** — ``write_ledger(...)`` / ``ledger_entries(...)``,
+  the violation record that chaos campaigns diff against goldens;
+* **worker pickling** — arguments to ``map_ordered(...)`` /
+  ``SupervisedPool.map_ordered(...)``, which cross a process boundary
+  and seed worker-side behaviour.
+
+Each finding carries the full evidence chain — source location, the
+assignment path that moved the value, and the sink — so a clock read in
+one module that reaches a checkpoint two modules away renders as
+``source (file:line) via a = ... (file:line) -> return of f() ...``.
+Values that are merely *derived from parameters* are not reported at
+the sink; instead a sink-parameter summary is computed so the *caller*
+passing tainted data into such a function is flagged at its own call
+site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.lint.core import Finding, LintContext, Rule, register
+from repro.lint.dataflow import Env
+from repro.lint.graph import (
+    ClassSymbol,
+    FunctionSymbol,
+    ModuleSymbols,
+    Project,
+    iter_functions,
+)
+from repro.lint.summaries import (
+    MAX_SUMMARY_PASSES,
+    Taint,
+    TaintAnalysis,
+    TaintSummary,
+    seed_param_taint,
+    taint_summaries,
+)
+
+_SINK_PARAMS_KEY = "sink-params"
+
+#: Bare/attribute call names that are sinks for every argument.
+_SINK_FUNCTIONS: Dict[str, str] = {
+    "write_ledger": "the guard violation ledger",
+    "ledger_entries": "the guard violation ledger",
+    "map_ordered": "pickled worker-task arguments",
+}
+
+#: Constructors whose payload becomes durable state.
+_SINK_CONSTRUCTORS: Dict[str, str] = {
+    "Checkpoint": "checkpointed state (Checkpoint payload)",
+}
+
+#: ``<receiver>.record(...)`` is a telemetry sink when the receiver
+#: spelling names a telemetry stream.  Curated, not heuristic: these
+#: are the receiver idioms used by repro.sim.telemetry call sites.
+_RECORD_RECEIVER_MARKERS = ("telemetry", "series", "energy", "trace")
+
+#: Functions whose return value is itself a checkpoint sink.
+_STATE_EXPORTERS = frozenset({"export_state"})
+
+SinkFlows = Dict[str, Dict[int, str]]
+
+
+def _sink_of_call(node: ast.Call) -> Optional[str]:
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None
+    )
+    if name is None:
+        return None
+    if name in _SINK_FUNCTIONS:
+        return _SINK_FUNCTIONS[name]
+    if name in _SINK_CONSTRUCTORS:
+        return _SINK_CONSTRUCTORS[name]
+    if name == "record" and isinstance(func, ast.Attribute):
+        receiver = ast.unparse(func.value).lower()
+        if any(marker in receiver for marker in _RECORD_RECEIVER_MARKERS):
+            return f"telemetry ({ast.unparse(func.value)}.record)"
+    return None
+
+
+def _render_taint(taint: Taint) -> str:
+    sources = " and ".join(s.render() for s in taint.real_sources())
+    if taint.steps:
+        return f"{sources} via {' -> '.join(taint.steps)}"
+    return sources
+
+
+class _SinkChecker(TaintAnalysis):
+    """TaintAnalysis that checks sink call sites and records evidence."""
+
+    def __init__(
+        self,
+        project: Project,
+        table: ModuleSymbols,
+        cls_sym: Optional[ClassSymbol],
+        summaries: Dict[str, TaintSummary],
+        path: str,
+        sink_flows: SinkFlows,
+    ) -> None:
+        super().__init__(project, table, cls_sym, summaries, path)
+        self.sink_flows = sink_flows
+        #: (line, col, message) findings from direct/interproc sinks
+        self.candidates: Set[Tuple[int, int, str]] = set()
+        #: own-parameter index -> sink description (for caller reporting)
+        self.param_sinks: Dict[int, str] = {}
+
+    def on_call_site(
+        self,
+        node: ast.Call,
+        resolved: object,
+        arg_taints: Dict[str, Optional[Taint]],
+        env: Env,
+    ) -> None:
+        sink = _sink_of_call(node)
+        if sink is not None:
+            for taint in arg_taints.values():
+                self._check_sink_value(node, taint, sink)
+        if isinstance(resolved, FunctionSymbol):
+            flows = self.sink_flows.get(resolved.qualname)
+            if not flows:
+                return
+            for index, sink_desc in flows.items():
+                taint = arg_taints.get(str(index))
+                if taint is None and index < len(resolved.params):
+                    taint = arg_taints.get(resolved.params[index])
+                if taint is None:
+                    continue
+                routed = (
+                    f"{sink_desc} (inside {resolved.name}(), defined at "
+                    f"{resolved.path}:{resolved.lineno})"
+                )
+                self._check_sink_value(node, taint, routed)
+
+    def _check_sink_value(
+        self, node: ast.Call, taint: Optional[Taint], sink: str
+    ) -> None:
+        if not isinstance(taint, Taint):
+            return
+        if taint.real_sources():
+            self.candidates.add(
+                (
+                    node.lineno,
+                    node.col_offset,
+                    f"nondeterminism reaches {sink}: {_render_taint(taint)}",
+                )
+            )
+        for index in taint.param_indices():
+            self.param_sinks.setdefault(index, sink)
+
+    def check_state_export(self, func: FunctionSymbol) -> None:
+        """Flag tainted returns of ``export_state()`` codecs."""
+        if func.name not in _STATE_EXPORTERS:
+            return
+        for stmt, value in self.returns:
+            if isinstance(value, Taint) and value.real_sources():
+                self.candidates.add(
+                    (
+                        stmt.lineno,
+                        stmt.col_offset,
+                        "nondeterminism reaches checkpointed controller "
+                        f"state: {func.name}() return carries "
+                        f"{_render_taint(value)}",
+                    )
+                )
+
+
+def _sink_param_flows(project: Project) -> SinkFlows:
+    """Which parameters of which functions flow into sinks (fixpoint).
+
+    One pass finds direct parameter→sink flows; further passes chase
+    parameters routed through an intermediate callee that itself sinks
+    them, up to the shared summary-pass cap.
+    """
+    cached = project.summary_cache.get(_SINK_PARAMS_KEY)
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+    summaries = taint_summaries(project)
+    flows: SinkFlows = {}
+    for _ in range(MAX_SUMMARY_PASSES):
+        changed = False
+        for table, func, cls_sym in project.all_functions():
+            if func.node is None:
+                continue
+            checker = _SinkChecker(
+                project, table, cls_sym, summaries, func.path, flows
+            )
+            checker.run_function(
+                func.node, seed_param_taint(func, func.path)
+            )
+            if checker.param_sinks and flows.get(
+                func.qualname
+            ) != checker.param_sinks:
+                merged = dict(flows.get(func.qualname, {}))
+                merged.update(checker.param_sinks)
+                if merged != flows.get(func.qualname):
+                    flows[func.qualname] = merged
+                    changed = True
+        if not changed:
+            break
+    project.summary_cache[_SINK_PARAMS_KEY] = flows
+    return flows
+
+
+@register
+class DeterminismTaintRule(Rule):
+    rule_id = "determinism-taint"
+    code = "POCO901"
+    summary = (
+        "nondeterminism taint (clocks, unseeded RNGs, os.environ, set "
+        "order) must not reach checkpoints, telemetry, the guard ledger "
+        "or pickled worker arguments"
+    )
+    requires_project = True
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        project = ctx.project
+        if not isinstance(project, Project):
+            return
+        table = _table_for(project, ctx.path)
+        if table is None:
+            return
+        summaries = taint_summaries(project)
+        sink_flows = _sink_param_flows(project)
+        emitted: Set[Tuple[int, int, str]] = set()
+        for func, cls_sym in iter_functions(table):
+            if func.node is None:
+                continue
+            checker = _SinkChecker(
+                project, table, cls_sym, summaries, ctx.path, sink_flows
+            )
+            checker.run_function(
+                func.node, seed_param_taint(func, ctx.path)
+            )
+            checker.check_state_export(func)
+            emitted |= checker.candidates
+        module_checker = _SinkChecker(
+            project, table, None, summaries, ctx.path, sink_flows
+        )
+        module_checker.run(list(ctx.tree.body), {})
+        emitted |= module_checker.candidates
+        for line, col, message in sorted(emitted):
+            yield Finding(
+                rule_id=self.rule_id,
+                code=self.code,
+                path=ctx.path,
+                line=line,
+                col=col,
+                message=message,
+            )
+
+
+def _table_for(project: Project, path: str) -> Optional[ModuleSymbols]:
+    for table in project.modules.values():
+        if table.path == path:
+            return table
+    return None

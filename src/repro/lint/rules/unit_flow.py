@@ -1,0 +1,216 @@
+"""POCO701 ``unit-flow`` — interprocedural dimensional inference.
+
+POCO101 infers units from identifier suffixes at a single expression
+site; this rule runs the whole-program machinery instead.  Units
+propagate through local assignments (a value keeps its unit through an
+untagged temporary), through **call sites and returns** (a function
+whose body computes ``power_w * dt_s`` returns joules, so assigning it
+to ``budget_w`` two modules away is flagged), through **positional
+arguments** (resolved to the callee's parameter names via the project
+symbol table, which suffix matching alone can never see) and through
+**dataclass constructor fields**.
+
+Jurisdiction split with POCO101: a mismatch whose two sides are both
+syntactically unit-suffixed is POCO101's finding and is *not* repeated
+here; POCO701 reports only mismatches that need flow evidence — a
+summary-derived return unit, a unit carried through an untagged local,
+or a positional-parameter binding.  POCO101 stays registered as the
+fallback for code the dataflow engine cannot resolve (see
+docs/LINTING.md).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from repro.lint.core import Finding, LintContext, Rule, register
+from repro.lint.dataflow import Env
+from repro.lint.graph import (
+    ClassSymbol,
+    FunctionSymbol,
+    ModuleSymbols,
+    Project,
+    iter_functions,
+)
+from repro.lint.rules.units import infer_unit, unit_of_name
+from repro.lint.summaries import (
+    UnitAnalysis,
+    seed_param_units,
+    unit_returns,
+)
+
+
+class _UnitFlowChecker(UnitAnalysis):
+    """UnitAnalysis that records mismatches as candidate findings."""
+
+    def __init__(
+        self,
+        project: Project,
+        table: ModuleSymbols,
+        cls_sym: Optional[ClassSymbol],
+        returns_map: dict,
+    ) -> None:
+        super().__init__(project, table, cls_sym, returns_map)
+        #: (line, col, message) candidates; a set because loop fixpoints
+        #: and nested re-evaluation visit the same site repeatedly
+        self.candidates: Set[Tuple[int, int, str]] = set()
+
+    # assignments ----------------------------------------------------------
+
+    def bind(self, name: str, value: object, node: ast.AST, env: Env) -> None:
+        expected = unit_of_name(name.rpartition(".")[-1] if "." in name else name)
+        value_expr = getattr(node, "value", None)
+        if (
+            expected is not None
+            and isinstance(value, str)
+            and value != expected
+            and isinstance(value_expr, ast.expr)
+            and infer_unit(value_expr) is None  # else POCO101's finding
+        ):
+            detail = self._value_detail(value_expr)
+            self.candidates.add(
+                (
+                    getattr(node, "lineno", 1),
+                    getattr(node, "col_offset", 0),
+                    f"assignment binds {value} to {name} "
+                    f"(expects {expected}){detail}",
+                )
+            )
+        super().bind(name, value, node, env)
+
+    def _value_detail(self, value_expr: ast.expr) -> str:
+        """Cross-module evidence: where a call-derived unit came from."""
+        call = value_expr if isinstance(value_expr, ast.Call) else None
+        if call is None and isinstance(value_expr, ast.BinOp):
+            return ""
+        if call is None:
+            return ""
+        resolved = self.project.resolve_call(self.table, call.func, self.cls_sym)
+        if isinstance(resolved, FunctionSymbol):
+            return (
+                f"; value returned by {resolved.name}() "
+                f"defined at {resolved.path}:{resolved.lineno}"
+            )
+        return ""
+
+    # call arguments -------------------------------------------------------
+
+    def on_call_resolved(
+        self, node: ast.Call, resolved: object, env: Env
+    ) -> None:
+        if isinstance(resolved, FunctionSymbol):
+            params: Tuple[str, ...] = resolved.params
+            what = f"{resolved.name}()"
+            where = f"{resolved.path}:{resolved.lineno}"
+        elif isinstance(resolved, ClassSymbol):
+            params = resolved.init_params
+            what = f"{resolved.name}(...) constructor"
+            where = f"{resolved.path}:{resolved.lineno}"
+        else:
+            return
+        for index, arg in enumerate(node.args):
+            if index >= len(params):
+                break
+            self._check_arg(arg, params[index], what, where, env, positional=True)
+        for keyword in node.keywords:
+            if keyword.arg is None or keyword.arg not in params:
+                continue
+            self._check_arg(
+                keyword.value, keyword.arg, what, where, env, positional=False
+            )
+
+    def _check_arg(
+        self,
+        arg: ast.expr,
+        param: str,
+        what: str,
+        where: str,
+        env: Env,
+        positional: bool,
+    ) -> None:
+        expected = unit_of_name(param)
+        if expected is None:
+            return
+        actual = self.eval_expr(arg, env)
+        if not isinstance(actual, str) or actual == expected:
+            return
+        # Keyword args with a syntactic unit are POCO101's findings;
+        # positional bindings are invisible to suffix matching, so a
+        # syntactically obvious unit still belongs to this rule there.
+        if not positional and infer_unit(arg) is not None:
+            return
+        self.candidates.add(
+            (
+                arg.lineno,
+                arg.col_offset,
+                f"argument for parameter {param}= of {what} expects "
+                f"{expected} but receives {actual} "
+                f"(callee defined at {where})",
+            )
+        )
+
+
+@register
+class UnitFlowRule(Rule):
+    rule_id = "unit-flow"
+    code = "POCO701"
+    summary = (
+        "interprocedural unit inference: units follow assignments, call "
+        "arguments, returns and dataclass fields across modules"
+    )
+    requires_project = True
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        project = ctx.project
+        if not isinstance(project, Project):
+            return
+        table = _table_for(project, ctx.path)
+        if table is None:
+            return
+        returns_map = unit_returns(project)
+        emitted: Set[Tuple[int, int, str]] = set()
+        for func, cls_sym in iter_functions(table):
+            if func.node is None:
+                continue
+            checker = _UnitFlowChecker(project, table, cls_sym, returns_map)
+            checker.run_function(func.node, seed_param_units(func))
+            self._check_returns(checker, func)
+            emitted |= checker.candidates
+        module_checker = _UnitFlowChecker(project, table, None, returns_map)
+        module_checker.run(list(ctx.tree.body), {})
+        emitted |= module_checker.candidates
+        for line, col, message in sorted(emitted):
+            yield Finding(
+                rule_id=self.rule_id,
+                code=self.code,
+                path=ctx.path,
+                line=line,
+                col=col,
+                message=message,
+            )
+
+    def _check_returns(
+        self, checker: _UnitFlowChecker, func: FunctionSymbol
+    ) -> None:
+        """``def power_w(...)`` promises watts; flag returns that break it."""
+        expected = unit_of_name(func.name)
+        if expected is None:
+            return
+        for stmt, value in checker.returns:
+            if isinstance(value, str) and value != expected:
+                checker.candidates.add(
+                    (
+                        stmt.lineno,
+                        stmt.col_offset,
+                        f"{func.name}() is suffix-typed as {expected} but "
+                        f"this return produces {value}",
+                    )
+                )
+
+
+def _table_for(project: Project, path: str) -> Optional[ModuleSymbols]:
+    for table in project.modules.values():
+        if table.path == path:
+            return table
+    return None

@@ -1,0 +1,1 @@
+"""POCO801 bad fixture package: lane-module numpy hazards."""

@@ -1,0 +1,46 @@
+"""Lane kernel with every hazard family POCO801 must catch."""
+
+# pocolint: lane-module
+
+import numpy as np
+
+
+def alias_via_slice(n):
+    power = np.zeros(n)
+    evens = power[::2]
+    evens += 1.0  # BAD: in-place through a slice view
+    return power
+
+
+def alias_via_reshape(n):
+    load = np.zeros(2 * n)
+    grid = load.reshape(2, n)
+    grid[0] = 5.0  # BAD: subscript store through a reshape view
+    return load
+
+
+def alias_via_out(n):
+    freq = np.ones(n)
+    flat = freq.ravel()
+    np.add(freq, 1.0, out=flat)  # BAD: out= writes through a view
+    return freq
+
+
+def narrow_constructor(n):
+    return np.zeros(n, dtype=np.float32)  # BAD: float32 lane state
+
+
+def narrow_cast(values):
+    buf = np.asarray(values)
+    return buf.astype(np.float32)  # BAD: astype narrows to float32
+
+
+def implicit_int_accumulation(n):
+    counts = np.full(n, 0)
+    counts += 0.5  # BAD: float accumulates into implicit int lanes
+    return counts
+
+
+def cross_lane_reduction(buf):
+    cube = np.zeros((4, 4))
+    return cube.mean(axis=0)  # BAD: axis= reduction bypasses the helper

@@ -1,0 +1,21 @@
+"""Lane state held on ``self`` — hazards through attribute arrays."""
+
+# pocolint: lane-module
+
+import numpy as np
+
+
+class LaneState:
+    def __init__(self, n):
+        self.power = np.zeros(n)
+        self.temps = np.zeros(n)
+
+    def corrupt(self):
+        tail = self.power[1:]
+        tail += 2.0  # BAD: view of an attribute lane array
+        return tail
+
+    def transpose_write(self):
+        flipped = self.temps.reshape(1, -1).T
+        flipped[0] = 0.0  # BAD: store through a .T view chain
+        return flipped

@@ -1,0 +1,1 @@
+"""POCO801 good twin: the same shapes done safely."""

@@ -1,0 +1,43 @@
+"""Safe lane kernel: copies instead of views, float64, pairwise helper."""
+
+# pocolint: lane-module
+
+import numpy as np
+
+
+def _np_mean_lanes(buf):
+    # The blessed pairwise helper may reduce however it likes.
+    return buf.mean(axis=0)
+
+
+def scale_copy(n):
+    power = np.zeros(n)
+    evens = power[::2].copy()
+    evens += 1.0  # fine: mutating an explicit copy
+    return evens
+
+
+def write_base(n):
+    load = np.zeros(2 * n)
+    load[:n] = 5.0  # fine: subscript store on the base array itself
+    load += 1.0  # fine: in-place on the owning array
+    return load
+
+
+def keep_float64(values):
+    buf = np.asarray(values, dtype=float)
+    return buf.astype(np.float64)  # fine: widening/explicit float64
+
+
+def explicit_float_accumulation(n):
+    totals = np.full(n, 0.0)
+    totals += 0.5  # fine: float lanes declared with a float fill
+    return totals
+
+
+def reduce_through_helper(buf):
+    return _np_mean_lanes(buf)  # fine: lane reduction via the helper
+
+
+def plain_mean(column):
+    return np.mean(column)  # fine: no axis= — whole-array reduction

@@ -1,0 +1,55 @@
+"""Regression fixture: the real batched pairwise kernel, plus one bug.
+
+``pairwise``/``_np_mean_lanes`` below are copied from
+``src/repro/engine/batched.py`` unchanged — POCO801 must stay silent on
+the genuine kernel (its ``a[:, i]`` column reads and ``buf.T`` are
+views, but nothing ever writes through them).  ``center_lanes`` plants
+the aliasing bug the rule exists for: an in-place subtraction through a
+slice view of the tick buffer, which silently rewrites the caller's
+array.  Exactly one finding, on the planted line, proves the rule
+separates the idiom from the bug.
+"""
+
+# pocolint: lane-module
+
+import numpy as np
+
+
+def _np_mean_lanes(buf: np.ndarray) -> np.ndarray:
+    """Per-lane means of a ``(n_ticks, n)`` buffer, bit-identical to
+    ``np.mean`` of each lane's tick column (copied from the engine)."""
+    def pairwise(a: np.ndarray) -> np.ndarray:
+        length = a.shape[1]
+        if length < 8:
+            res = np.zeros(a.shape[0])
+            for i in range(length):
+                res = res + a[:, i]
+            return res
+        if length <= 128:
+            r = [a[:, j].astype(float) for j in range(8)]
+            i = 8
+            while i < length - (length % 8):
+                for j in range(8):
+                    r[j] = r[j] + a[:, i + j]
+                i += 8
+            res = ((r[0] + r[1]) + (r[2] + r[3])) + (
+                (r[4] + r[5]) + (r[6] + r[7])
+            )
+            while i < length:
+                res = res + a[:, i]
+                i += 1
+            return res
+        half = a.shape[1] // 2
+        half -= half % 8
+        return pairwise(a[:, :half]) + pairwise(a[:, half:])
+
+    lanes = buf.T
+    return pairwise(lanes) / lanes.shape[1]
+
+
+def center_lanes(n_ticks, n):
+    """The planted bug: centering 'in place' through a slice view."""
+    ticks = np.zeros((n_ticks, n))
+    window = ticks[1:]
+    window -= 0.5  # PLANTED BUG: mutates `ticks` through the view
+    return _np_mean_lanes(ticks)

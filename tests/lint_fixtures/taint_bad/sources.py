@@ -1,0 +1,15 @@
+"""Source module: nondeterminism is produced here, sunk elsewhere."""
+
+import time
+
+
+def stamp():
+    now = time.time()
+    return now
+
+
+def ordered_names():
+    collected = ()
+    for name in {"a", "b", "c"}:
+        collected = collected + (name,)
+    return collected

@@ -1,0 +1,1 @@
+"""POCO901 good twin: the same sinks fed deterministic values."""

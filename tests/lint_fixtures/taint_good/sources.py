@@ -1,0 +1,13 @@
+"""Deterministic producers: sim time, seeded RNG, sorted iteration."""
+
+
+def stamp(sim_time_s):
+    now = sim_time_s  # simulation-controlled time, not a wall clock
+    return now
+
+
+def ordered_names():
+    collected = ()
+    for name in sorted({"a", "b", "c"}):
+        collected = collected + (name,)
+    return collected

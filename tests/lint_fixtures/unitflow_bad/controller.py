@@ -1,0 +1,27 @@
+"""Caller module: every site here receives a unit from another module."""
+
+from unitflow_bad.convert import (
+    energy_j,
+    idle_power_w,
+    sink_power,
+    stored_energy,
+)
+
+
+def plan_budget(dt_s):
+    raw = energy_j(40.0, dt_s)
+    budget_w = raw  # BAD: joules flowed through `raw` into a watts name
+    return budget_w
+
+
+def reserve(dt_s):
+    head_w = stored_energy(3.0, dt_s)  # BAD: summary-only joules return
+    return head_w
+
+
+def drain_j():
+    return idle_power_w()  # BAD: _j function returns a watts value
+
+
+def tick(delay_s):
+    return sink_power(delay_s, 0.5)  # BAD: positional arg cap_w gets seconds

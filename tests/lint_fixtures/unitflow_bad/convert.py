@@ -1,0 +1,21 @@
+"""Callee module: functions whose return units POCO701 must infer."""
+
+
+def energy_j(power_w, dt_s):
+    # watts * seconds -> joules; the summary records "joules".
+    return power_w * dt_s
+
+
+def idle_power_w():
+    return 12.5
+
+
+def sink_power(cap_w, slack_frac):
+    return cap_w * slack_frac
+
+
+def stored_energy(power_w, dt_s):
+    # No unit suffix on the function name: the joules return is only
+    # knowable from the body, i.e. from the interprocedural summary.
+    total_j = power_w * dt_s
+    return total_j

@@ -1,0 +1,1 @@
+"""POCO701 good twin: the same call shapes with consistent units."""

@@ -1,0 +1,17 @@
+"""Caller module of the good twin: units line up across the boundary."""
+
+from unitflow_good.convert import energy_j, idle_power_w, sink_power
+
+
+def plan_budget(dt_s):
+    raw = energy_j(40.0, dt_s)
+    budget_j = raw  # joules into a joules name
+    return budget_j
+
+
+def drain_w():
+    return idle_power_w()  # watts returned from a watts-suffixed function
+
+
+def tick(limit_w):
+    return sink_power(limit_w, 0.5)  # positional cap_w receives watts

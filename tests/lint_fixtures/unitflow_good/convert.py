@@ -1,0 +1,13 @@
+"""Callee module of the good twin."""
+
+
+def energy_j(power_w, dt_s):
+    return power_w * dt_s
+
+
+def idle_power_w():
+    return 12.5
+
+
+def sink_power(cap_w, slack_frac):
+    return cap_w * slack_frac

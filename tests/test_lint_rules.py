@@ -26,7 +26,7 @@ def lines_of(findings):
 
 
 class TestRegistry:
-    def test_six_rule_families_registered(self):
+    def test_nine_rule_families_registered(self):
         rules = all_rules()
         assert [r.rule_id for r in rules] == [
             "unit-mixing",
@@ -35,6 +35,9 @@ class TestRegistry:
             "exception-policy",
             "atomic-artifacts",
             "hand-rolled-tolerance",
+            "unit-flow",
+            "lane-safety",
+            "determinism-taint",
         ]
         assert [r.code for r in rules] == [
             "POCO101",
@@ -43,7 +46,17 @@ class TestRegistry:
             "POCO401",
             "POCO501",
             "POCO601",
+            "POCO701",
+            "POCO801",
+            "POCO901",
         ]
+
+    def test_whole_program_rules_require_project(self):
+        by_id = {r.rule_id: r for r in all_rules()}
+        assert by_id["unit-flow"].requires_project
+        assert by_id["lane-safety"].requires_project is False
+        assert by_id["determinism-taint"].requires_project
+        assert by_id["unit-mixing"].requires_project is False
 
     def test_unknown_rule_raises_lint_error(self):
         with pytest.raises(LintError, match="unknown rule"):

@@ -205,6 +205,47 @@ def bench_guard_overhead(cat, n_servers: int = 10, reps: int = 9) -> dict:
     }
 
 
+def bench_budget_overhead(cat, reps: int = 9) -> dict:
+    """Budgeted vs unbudgeted cluster sweep; the budget-arbiter tax.
+
+    The arbiter plans entirely ahead of execution, so its runtime cost
+    is the plan-time tree walk plus a cap-schedule lookup per capper
+    subtick.  Budgets need unique leaf names, so the fleet is the four
+    distinct paper plans (no replicas).  Arms are interleaved and the
+    per-arm minimum is kept; a dense arbiter period (0.5 s against 3 s
+    cells) makes this a worst-case schedule, not a best case.
+    """
+    from repro.budget import BudgetConfig
+
+    plans = sc.fleet_plans(cat, 4)
+    budget = BudgetConfig(arbiter_period_s=0.5, lease_s=1.0, rack_size=2)
+    sc.run_fleet(cat, plans)  # warm model/grid caches
+    plain_s = budgeted_s = float("inf")
+    budgeted = budgeted_again = None
+    for _ in range(reps):
+        _plain, t = _timed(sc.run_fleet, cat, plans)
+        plain_s = min(plain_s, t)
+        budgeted, t = _timed(sc.run_fleet, cat, plans, budget=budget)
+        budgeted_s = min(budgeted_s, t)
+        budgeted_again = budgeted_again or budgeted
+    assert _flat(budgeted) == _flat(budgeted_again), "budgeted run drifted"
+    overhead_pct = round(100.0 * (budgeted_s / plain_s - 1.0), 1)
+    return {
+        "name": "budget_overhead_4",
+        "description": (
+            f"run_cluster: 4 distinct servers x {len(sc.SWEEP_LEVELS)} "
+            "levels, unbudgeted vs budget tree (racks of 2, 0.5s "
+            "arbiter period, 1s leases); min over "
+            f"{reps} interleaved reps"
+        ),
+        "mechanism": "budget-arbiter",
+        "serial_s": round(plain_s, 4),
+        "engine_s": round(budgeted_s, 4),
+        "overhead_pct": overhead_pct,
+        "identical_results": True,
+    }
+
+
 def bench_pipeline(cat, workers: int) -> dict:
     kwargs = dict(
         placement_seeds=range(4),
@@ -254,6 +295,7 @@ def main(argv=None) -> int:
         scenarios.append(bench_batched(cat, 1000))
     scenarios.append(bench_pipeline(cat, workers=2))
     scenarios.append(bench_guard_overhead(cat))
+    scenarios.append(bench_budget_overhead(cat))
 
     payload = {
         "schema": "pocolo-bench-engine/1",

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Budget smoke: brownout ladder drill plus an infra-fault chaos campaign.
+
+CI's ``budget-smoke`` job runs this on every push (docs/BUDGETS.md).
+The drill:
+
+1. replay the pinned brownout fixture
+   (``tests/fixtures/budget_brownout.json``) against a budgeted
+   two-server rack — the descending rack derates must walk the whole
+   ladder (throttle -> evict -> shed) while both budget invariants
+   stay clean;
+2. run a short coverage-guided chaos campaign with the
+   power-infrastructure faults in the mutation pool — whatever mix of
+   derates, breaker trips, arbiter crashes and grant loss/delay the
+   search draws, ``grant-conservation`` and ``rack-overcommit`` must
+   never fire on a healthy arbiter.
+
+Power-cap findings are *allowed* in phase 2: a shed stage that engages
+mid-level can legitimately leave a loaded LC server over its reduced
+cap (the pinned fixture documents exactly this), and the test suite
+owns that regression.  The smoke job only guards the budget contracts.
+
+Exit 0: ladder fully exercised and zero budget-invariant violations.
+Exit 1: a stalled ladder, or a grant-conservation / rack-overcommit
+violation anywhere.
+
+Usage:  PYTHONPATH=src python scripts/budget_smoke.py [--seed N]
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.apps import (  # noqa: E402  (path bootstrap above)
+    REFERENCE_SPEC,
+    best_effort_apps,
+    latency_critical_apps,
+)
+from repro.budget import BudgetConfig  # noqa: E402
+from repro.evaluation.pipeline import HeraclesFactory  # noqa: E402
+from repro.guard import GuardConfig  # noqa: E402
+from repro.guard.campaign import (  # noqa: E402
+    BudgetCaseRunner,
+    CampaignConfig,
+    run_campaign,
+)
+from repro.guard.fixtures import load_fixture  # noqa: E402
+from repro.sim.cluster import ServerPlan  # noqa: E402
+from repro.sim.colocation import SimConfig  # noqa: E402
+
+FIXTURE = REPO_ROOT / "tests" / "fixtures" / "budget_brownout.json"
+
+BUDGET_INVARIANTS = ("grant-conservation", "rack-overcommit")
+
+# Matches the pinned fixture's assumptions: one rack of two servers
+# with 20% busway slack, 1 s arbiter period, 2 s leases.  The ladder
+# stages key on the capacity-to-floor *ratio*, so the fixture's
+# descending derate factors (0.80 / 0.65 / 0.50 against 1.2x slack)
+# walk throttle -> evict -> shed on any fleet built this way.
+BUDGET = BudgetConfig(arbiter_period_s=1.0, lease_s=2.0, rack_size=2,
+                      rack_slack=0.2)
+
+
+def build_runner(seed):
+    lcs = latency_critical_apps()
+    bes = best_effort_apps()
+    plans = tuple(
+        ServerPlan(
+            lc_app=lcs[lc], be_app=bes[be],
+            provisioned_power_w=lcs[lc].peak_server_power_w(),
+            manager_factory=HeraclesFactory(),
+        )
+        for lc, be in [("xapian", "rnn"), ("sphinx", "graph")]
+    )
+    return BudgetCaseRunner(
+        plans=plans,
+        spec=REFERENCE_SPEC,
+        levels=(0.4, 0.8),
+        duration_s=6.0,
+        config=SimConfig(warmup_s=1.0, seed=seed),
+        guard=GuardConfig(mode="record"),
+        budget=BUDGET,
+    )
+
+
+def budget_violations(report):
+    return [v for v in report.violations if v.invariant in BUDGET_INVARIANTS]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign RNG seed (default 0)")
+    parser.add_argument("--rounds", type=int, default=4,
+                        help="campaign mutation rounds (default 4)")
+    args = parser.parse_args(argv)
+
+    runner = build_runner(args.seed)
+
+    print("budget-smoke: phase 1 — pinned brownout-ladder fixture")
+    schedule, meta = load_fixture(FIXTURE)
+    outcome = runner.run(schedule)
+    counters = dict(outcome.counters)
+    stages = {name: counters.get(f"budget.{name}_ticks", 0)
+              for name in ("throttle", "evict", "shed")}
+    print(f"budget-smoke: max stage {counters.get('budget.max_stage', 0)}, "
+          f"ticks {stages}, note: {meta.get('note', '')[:60]}...")
+    if counters.get("budget.max_stage", 0) != 3:
+        print("budget-smoke: FAIL — ladder never reached the shed stage")
+        return 1
+    if not all(ticks >= 1 for ticks in stages.values()):
+        print("budget-smoke: FAIL — a ladder stage was skipped entirely")
+        return 1
+    fixture_violations = budget_violations(outcome.report)
+    if fixture_violations:
+        print(f"budget-smoke: FAIL — budget invariants fired on the "
+              f"fixture: {fixture_violations[:3]}")
+        return 1
+
+    print(f"budget-smoke: phase 2 — infra-fault chaos campaign "
+          f"(seed {args.seed})")
+    config = CampaignConfig(
+        seed=args.seed, rounds=args.rounds, batch_size=3,
+        initial_corpus=3, horizon_s=12.0, max_faults=4,
+        mean_duration_s=5.0, infra_faults=True,
+        stop_on_violation=False,
+    )
+    result = run_campaign(runner, config)
+    print(f"budget-smoke: {result.cases_run} cases, "
+          f"{result.coverage_points} coverage points, "
+          f"{len(result.violations)} violating case(s)")
+    broken = [
+        (case, names)
+        for case in result.violations
+        for names in [sorted(set(case.invariants) & set(BUDGET_INVARIANTS))]
+        if names
+    ]
+    if broken:
+        case, names = broken[0]
+        print(f"budget-smoke: FAIL — budget invariant(s) {names} violated "
+              f"by {[type(f).__name__ for f in case.schedule]}")
+        return 1
+
+    print("budget-smoke: OK — ladder walked, budget invariants clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

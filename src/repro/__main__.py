@@ -211,10 +211,24 @@ def cmd_run(catalog, args) -> None:
         )
         print(f"Checkpointing to {checkpoint_path}"
               + (" (resuming)" if args.resume else ""))
+    budget = None
+    if args.budget_tree:
+        from repro.budget.arbiter import BudgetConfig
+
+        budget = BudgetConfig(
+            arbiter_period_s=args.arbiter_period,
+            lease_s=args.lease,
+            rack_size=args.rack_size,
+            fairness=args.fairness,
+        )
+        print(f"Hierarchical budget tree: racks of {budget.rack_size}, "
+              f"{budget.arbiter_period_s:g}s arbiter period, "
+              f"{budget.lease_s:g}s leases, {budget.fairness} fairness")
     result = run_policy(
         catalog, args.policy, duration_s=args.duration,
         workers=args.workers, checkpoint_path=checkpoint_path,
         resume=args.resume, checkpoint_every=args.checkpoint_every,
+        budget=budget,
     )
     servers = result.servers()
     throughput = result.be_throughput_by_server()
@@ -231,6 +245,13 @@ def cmd_run(catalog, args) -> None:
     print(f"\ncluster BE throughput  {result.cluster_be_throughput():.3f}")
     print(f"cluster power util     {result.cluster_power_utilization():.3f}")
     print(f"cluster SLO violations {result.cluster_violation_fraction():.3f}")
+    if result.budget_report is not None:
+        from repro.analysis.reporting import format_budget_degradation
+
+        print()
+        print(format_budget_degradation(
+            [(args.policy, result.budget_report)],
+        ))
 
 
 def cmd_guard(catalog, args) -> None:
@@ -339,6 +360,18 @@ def main(argv=None) -> int:
                              "of a policy sweep")
     parser.add_argument("--rounds", type=int, default=6,
                         help="mutation rounds for the guard campaign")
+    parser.add_argument("--budget-tree", action="store_true",
+                        help="run command: arbitrate power through the "
+                             "hierarchical budget tree (lease-based grants)")
+    parser.add_argument("--arbiter-period", type=float, default=5.0,
+                        help="seconds between budget arbiter ticks")
+    parser.add_argument("--lease", type=float, default=10.0,
+                        help="budget grant lease in seconds")
+    parser.add_argument("--rack-size", type=int, default=2,
+                        help="servers per rack in the budget tree")
+    parser.add_argument("--fairness", choices=("max-min", "throughput"),
+                        default="max-min",
+                        help="headroom redistribution objective")
     args = parser.parse_args(argv)
 
     catalog = fit_catalog(seed=args.seed) if args.command != "list" else None

@@ -2,6 +2,7 @@
 
 from repro.analysis.reporting import (
     format_cell,
+    format_budget_degradation,
     format_degradation,
     format_series,
     format_table,
@@ -20,6 +21,7 @@ __all__ = [
     "paired_diff_ci",
     "relative_gain_ci",
     "format_cell",
+    "format_budget_degradation",
     "format_degradation",
     "format_series",
     "format_table",

@@ -133,3 +133,45 @@ def format_degradation(
          "model fb", "model fb frac", "solver fb"],
         table_rows, precision=precision, title=title,
     )
+
+
+def format_budget_degradation(
+    rows: Sequence[Sequence[Cell]],
+    precision: int = 3,
+    title: str = "Degradation under power budgets",
+) -> str:
+    """Render the budget-arbiter degradation table of one or more runs.
+
+    Each row is ``(label, budget_report)`` where the report is the
+    :class:`~repro.budget.arbiter.BudgetReport` of a budgeted cluster
+    run — the evaluation-table view of the lease/brownout counters:
+    arbiter ticks lost to crashes, grants expired back to the fail-safe
+    floor, grant messages lost or delayed in flight, the deepest
+    brownout stage reached and the cells it evicted or shed (see
+    ``docs/BUDGETS.md``).
+    """
+    table_rows: List[List[Cell]] = []
+    for row in rows:
+        if len(row) != 2:
+            raise ConfigError(
+                "budget degradation rows are (label, budget_report)"
+            )
+        label, report = row
+        stats = report.stats
+        table_rows.append([
+            str(label),
+            stats.ticks,
+            stats.skipped_ticks,
+            stats.grants_issued,
+            stats.grants_expired,
+            stats.grants_lost,
+            stats.grants_delayed,
+            report.max_stage(),
+            stats.evicted_cells,
+            stats.shed_cells,
+        ])
+    return format_table(
+        ["run", "ticks", "skipped", "granted", "expired", "lost",
+         "delayed", "max stage", "evicted", "shed"],
+        table_rows, precision=precision, title=title,
+    )

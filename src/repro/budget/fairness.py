@@ -1,0 +1,111 @@
+"""Fairness objectives for redistributing rack headroom among BE apps.
+
+When a rack has watts beyond the sum of its members' fail-safe floors
+(slack provisioning, crashed members, or donated headroom), the arbiter
+splits the pool among the servers whose best-effort co-runners want
+more than their floor allows.  Two objectives are offered:
+
+* ``max-min`` (default) — egalitarian water-filling in the sense of
+  arXiv:1610.07339: no server's grant can be raised without lowering
+  an already-smaller grant, so one power-hungry BE app can never starve
+  the rest of the rack;
+* ``throughput`` — total-throughput greedy: watts flow to the servers
+  with the highest marginal BE throughput per watt first, maximizing
+  cluster BE output at the cost of equality.
+
+Both are pure float folds in a fixed order, so replanning a budget is
+bit-reproducible — a property the checkpoint run key relies on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+#: Objective names accepted by :class:`repro.budget.arbiter.BudgetConfig`.
+FAIRNESS_MAX_MIN = "max-min"
+FAIRNESS_THROUGHPUT = "throughput"
+FAIRNESS_OBJECTIVES: Tuple[str, ...] = (FAIRNESS_MAX_MIN, FAIRNESS_THROUGHPUT)
+
+#: Pools and wants below this are treated as exhausted (guards the
+#: water-filling loop against float dust, not a tunable).
+_EXHAUSTED_W = 1e-9
+
+
+def max_min_shares(
+    pool_w: float, wants_w: Sequence[float]
+) -> List[float]:
+    """Water-fill ``pool_w`` across ``wants_w`` (egalitarian max-min).
+
+    Repeatedly offers every unsatisfied want an equal share of what
+    remains; wants smaller than the share are granted in full and their
+    refund raises the water level for the rest.  The result is the
+    unique max-min fair allocation: lexicographically maximal sorted
+    grant vector subject to ``grant_i <= want_i`` and
+    ``sum(grants) <= pool_w``.
+    """
+    grants = [0.0 for _ in wants_w]
+    remaining_w = max(0.0, float(pool_w))
+    active = [i for i, want_w in enumerate(wants_w) if want_w > _EXHAUSTED_W]
+    while active and remaining_w > _EXHAUSTED_W:
+        share_w = remaining_w / len(active)
+        satisfied = [
+            i for i in active if wants_w[i] - grants[i] <= share_w
+        ]
+        if not satisfied:
+            for i in active:
+                grants[i] += share_w
+            break
+        for i in satisfied:
+            remaining_w -= wants_w[i] - grants[i]
+            grants[i] = float(wants_w[i])
+        active = [i for i in active if i not in satisfied]
+    return grants
+
+
+def throughput_shares(
+    pool_w: float,
+    wants_w: Sequence[float],
+    weights: Sequence[float],
+) -> List[float]:
+    """Greedy fill by descending ``weights`` (marginal throughput/W).
+
+    Servers are served in weight order (ties broken by index, so the
+    order — and therefore the plan — is deterministic); each takes its
+    full want while the pool lasts.  Maximizes total BE throughput for
+    affine throughput-vs-power responses, with no equality guarantee.
+    """
+    if len(weights) != len(wants_w):
+        raise ConfigError(
+            f"throughput fairness got {len(wants_w)} wants but "
+            f"{len(weights)} weights"
+        )
+    grants = [0.0 for _ in wants_w]
+    remaining_w = max(0.0, float(pool_w))
+    order = sorted(range(len(wants_w)), key=lambda i: (-weights[i], i))
+    for i in order:
+        if remaining_w <= _EXHAUSTED_W:
+            break
+        take_w = min(float(wants_w[i]), remaining_w)
+        if take_w > 0.0:
+            grants[i] = take_w
+            remaining_w -= take_w
+    return grants
+
+
+def distribute(
+    objective: str,
+    pool_w: float,
+    wants_w: Sequence[float],
+    weights: Sequence[float],
+) -> List[float]:
+    """Split ``pool_w`` across ``wants_w`` under the named objective."""
+    if objective == FAIRNESS_MAX_MIN:
+        return max_min_shares(pool_w, wants_w)
+    if objective == FAIRNESS_THROUGHPUT:
+        return throughput_shares(pool_w, wants_w, weights)
+    raise ConfigError(
+        f"unknown fairness objective {objective!r}; expected one of "
+        f"{FAIRNESS_OBJECTIVES}"
+    )

@@ -1,0 +1,106 @@
+"""Piecewise-constant power-cap schedules for budgeted cells.
+
+The budget arbiter plans entirely ahead of execution (the same
+plan-time discipline as :func:`repro.sim.cluster._plan_cluster_faulted`)
+and hands every cell a :class:`CapSchedule`: the server's effective
+power cap as a piecewise-constant function of *cell-local* time.  The
+schedule is frozen and hashable, so it rides inside cell task tuples,
+dedupe keys and checkpoint run keys like any other cell parameter, and
+the cell stays a pure function of its arguments.
+
+Both engines consume the schedule the same way — look up the cap in
+force at each 100 ms capper subtick — and the lookup is a pure gather
+of the planned floats (no arithmetic), so the object oracle and the
+batched core see bit-identical caps.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CapSchedule:
+    """A server's effective power cap over one cell, piecewise constant.
+
+    ``times_s[i]`` is the cell-local time the cap becomes ``caps_w[i]``;
+    before ``times_s[0]`` the first cap is already in force (the planner
+    always emits ``times_s[0] == 0.0``, but the lookup is defensive).
+    """
+
+    times_s: Tuple[float, ...]
+    caps_w: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        times = tuple(float(t) for t in self.times_s)
+        caps = tuple(float(c) for c in self.caps_w)
+        object.__setattr__(self, "times_s", times)
+        object.__setattr__(self, "caps_w", caps)
+        if not times:
+            raise ConfigError("a CapSchedule needs at least one segment")
+        if len(times) != len(caps):
+            raise ConfigError(
+                f"CapSchedule has {len(times)} breakpoints but "
+                f"{len(caps)} caps"
+            )
+        for earlier, later in zip(times, times[1:]):
+            if later <= earlier:
+                raise ConfigError(
+                    "CapSchedule breakpoints must be strictly increasing; "
+                    f"got {earlier!r} then {later!r}"
+                )
+        for cap_w in caps:
+            if cap_w <= 0.0:
+                raise ConfigError(
+                    f"CapSchedule caps must be positive; got {cap_w!r}"
+                )
+
+    @classmethod
+    def constant(cls, cap_w: float) -> "CapSchedule":
+        """A schedule that pins one cap for the whole cell."""
+        return cls(times_s=(0.0,), caps_w=(float(cap_w),))
+
+    @classmethod
+    def from_segments(
+        cls, segments: Sequence[Tuple[float, float]]
+    ) -> "CapSchedule":
+        """Build from ``(start_time_s, cap_w)`` pairs, merging repeats.
+
+        Consecutive segments with an identical cap collapse into one,
+        so planner timelines that re-issue the same cap every arbiter
+        period produce compact schedules (and value-equal schedules
+        dedupe as one cell).
+        """
+        if not segments:
+            raise ConfigError("a CapSchedule needs at least one segment")
+        times: list[float] = []
+        caps: list[float] = []
+        for start_s, cap_w in segments:
+            if caps and caps[-1] == float(cap_w):
+                continue
+            times.append(float(start_s))
+            caps.append(float(cap_w))
+        return cls(times_s=tuple(times), caps_w=tuple(caps))
+
+    @property
+    def is_constant(self) -> bool:
+        """True when a single cap covers the whole cell."""
+        return len(self.caps_w) == 1
+
+    def cap_at(self, time_s: float) -> float:
+        """The cap in force at cell-local ``time_s``."""
+        index = bisect_right(self.times_s, float(time_s)) - 1
+        if index < 0:
+            index = 0
+        return self.caps_w[index]
+
+    def describe(self) -> str:
+        """Human-oriented one-line rendering for logs and reports."""
+        steps = ", ".join(
+            f"{t:g}s->{c:g}W" for t, c in zip(self.times_s, self.caps_w)
+        )
+        return f"CapSchedule[{steps}]"

@@ -64,6 +64,7 @@ from repro.core.server_manager import (
     PowerOptimizedManager,
     balanced_allocation,
 )
+from repro.budget.schedule import CapSchedule
 from repro.core.utility import integer_min_power_allocation
 from repro.errors import CapacityError, ConfigError, InvariantViolationError
 from repro.faults.schedule import (
@@ -413,14 +414,32 @@ def _build_probe(plan: Any, spec: ServerSpec, be_app: Any) -> Optional[Dict[str,
     return info
 
 
+def _task_parts(task: Any) -> Tuple[Any, ...]:
+    """An 8- or 9-element cell tuple padded to nine parts.
+
+    Unbudgeted cluster plans emit the historical eight-element tuples;
+    budgeted plans append a ninth element, the lane's
+    :class:`~repro.budget.schedule.CapSchedule`.  Callers always unpack
+    nine parts.
+    """
+    if isinstance(task, tuple) and len(task) == 8:
+        return task + (None,)
+    if isinstance(task, tuple) and len(task) == 9:
+        return task
+    raise ConfigError("cell task must be an 8- or 9-element tuple")
+
+
 def _task_eligible(task: Any) -> bool:
     """Structural checks on one (plan, spec, level, ...) cell tuple."""
-    if not (isinstance(task, tuple) and len(task) == 8):
+    if not (isinstance(task, tuple) and len(task) in (8, 9)):
         return False
-    _plan, spec, level, duration_s, config, _be_app, faults, guard = task
+    (_plan, spec, level, duration_s, config, _be_app, faults, guard,
+     schedule) = _task_parts(task)
     if not isinstance(spec, ServerSpec) or not isinstance(config, SimConfig):
         return False
     if guard is not None and not isinstance(guard, GuardConfig):
+        return False
+    if schedule is not None and not isinstance(schedule, CapSchedule):
         return False
     try:
         if not duration_s > 0:
@@ -461,7 +480,8 @@ def _partition(
     for i, task in enumerate(tasks):
         info = None
         if _task_eligible(task):
-            plan, spec, _level, duration_s, config, be_app, faults, guard = task
+            (plan, spec, _level, duration_s, config, be_app, faults, guard,
+             _schedule) = _task_parts(task)
             info = _probe_plan(plan, spec, be_app, probe_cache)
         if info is None:
             fallback.add(i)
@@ -523,14 +543,16 @@ class BatchedClusterSim:
         "stale_load", "stale_slack", "have_stale",
         "slo_violations", "buffers", "g_cap_streak", "g_energy_tick",
         "g_rng_tick", "g_rng_baseline", "g_total", "g_violations",
-        "g_first_violation",
+        "g_first_violation", "cap", "g_prev_cap", "g_prev_cap_valid",
+        "g_ramp",
     )
 
     def __init__(self, tasks: Sequence[Any], infos: Sequence[Dict[str, Any]]) -> None:
         if not tasks:
             raise ConfigError("batched sim needs at least one lane")
         n = len(tasks)
-        plan0, spec, _lvl, duration_s, config, _be0, faults, guard = tasks[0]
+        (plan0, spec, _lvl, duration_s, config, _be0, faults, guard,
+         _sched0) = _task_parts(tasks[0])
         self.tasks = list(tasks)
         self.spec = spec
         self.config = config
@@ -565,6 +587,35 @@ class BatchedClusterSim:
         self.level = np.asarray([float(t[2]) for t in tasks])
         self.peak_load = np.asarray([p.lc_app.peak_load for p in self.plans])
         self.cap = np.asarray([float(p.provisioned_power_w) for p in self.plans])
+
+        # ---- budget cap schedules ----------------------------------
+        # Per-lane breakpoint matrices, padded so a single vectorized
+        # gather per 100 ms subtick reproduces CapSchedule.cap_at
+        # (bisect_right minus one, clamped to zero): times pad with
+        # +inf, caps with the last cap; schedule-less lanes get one
+        # -inf breakpoint pinning their provisioned base.  The gathered
+        # floats are the planner's own, so caps are bit-exact.
+        self.schedules = [_task_parts(t)[8] for t in tasks]
+        self.any_sched = any(s is not None for s in self.schedules)
+        if self.any_sched:
+            width = max(
+                len(s.times_s) if s is not None else 1
+                for s in self.schedules
+            )
+            sched_times = np.full((n, width), np.inf)
+            sched_caps = np.zeros((n, width))
+            for i, sched in enumerate(self.schedules):
+                if sched is None:
+                    sched_times[i, 0] = -np.inf
+                    sched_caps[i, :] = self.cap[i]
+                else:
+                    m = len(sched.times_s)
+                    sched_times[i, :m] = sched.times_s
+                    sched_caps[i, :m] = sched.caps_w
+                    sched_caps[i, m:] = sched.caps_w[-1]
+            self.sched_times = sched_times
+            self.sched_caps = sched_caps
+            self._lanes = np.arange(n)
         self.slo_p99 = np.asarray(
             [p.lc_app.latency.slo.p99_s for p in self.plans]
         )
@@ -783,6 +834,8 @@ class BatchedClusterSim:
             "be_freq_ghz": np.zeros(shape),
             "be_duty": np.zeros(shape),
         }
+        if self.any_sched:
+            self.buffers["effective_cap_w"] = np.zeros(shape)
         self.slo_violations = np.zeros(n, dtype=np.int64)
         self.stale_load = np.zeros(n)
         self.stale_slack = np.zeros(n)
@@ -790,6 +843,9 @@ class BatchedClusterSim:
 
         # ---- guard state -------------------------------------------
         self.g_cap_streak = np.zeros(n, dtype=np.int64)
+        self.g_prev_cap = np.zeros(n)
+        self.g_prev_cap_valid = False
+        self.g_ramp = np.zeros(n)
         self.g_energy_tick = 0
         self.g_rng_tick = 0
         self.g_rng_baseline: Optional[Tuple[str, bytes, int]] = None
@@ -896,6 +952,10 @@ class BatchedClusterSim:
             buf["safe_mode"][tick] = np.where(self.safe, 1.0, 0.0)
             buf["lc_cores"][tick] = self.lc_c
             buf["lc_ways"][tick] = self.lc_w
+            if self.any_sched:
+                # End-of-tick cap (the last subtick's gather), recorded
+                # only into scheduled lanes' series at assembly.
+                buf["effective_cap_w"][tick] = self.cap
             # meter.last_reading exists after the first subtick ever.
             if self.e_has_prev:
                 dt = self.m_last_time - self.e_prev_t
@@ -1217,6 +1277,13 @@ class BatchedClusterSim:
         return handled
 
     def _capper_step(self, t: float) -> None:
+        if self.any_sched:
+            # The oracle moves server.provisioned_power_w immediately
+            # before capper.step; the capper reads the live cap.
+            # An exact integer count per lane (not a float reduction):
+            # how many breakpoints are already in force at t.
+            k = np.count_nonzero(self.sched_times <= t, axis=1) - 1
+            self.cap = self.sched_caps[self._lanes, np.maximum(k, 0)]
         self._meter_sample(t)
         raw = self.m_last_raw
         filt = self.m_last_filt
@@ -1293,7 +1360,22 @@ class BatchedClusterSim:
                     if bias < 0:
                         margin_w += -bias
             safe_allow = np.where(self.safe, self._be_power(), 0.0)
-            limit = self.cap + (margin_w + safe_allow)
+            # PowerCapInvariant._ramp_allowance_w, lane-vectorized in
+            # the same float-op order; ramp stays exactly 0.0 on lanes
+            # whose cap never steps down, so x + 0.0 keeps unbudgeted
+            # runs bit-identical.
+            ramp = self.g_ramp * g.cap_ramp_decay
+            if self.g_prev_cap_valid:
+                ramp = np.where(
+                    self.cap < self.g_prev_cap,
+                    ramp + (self.g_prev_cap - self.cap),
+                    ramp,
+                )
+            ramp = np.where(ramp < g.cap_ramp_min_w, 0.0, ramp)
+            self.g_ramp = ramp
+            self.g_prev_cap = self.cap.copy()
+            self.g_prev_cap_valid = True
+            limit = self.cap + ((margin_w + safe_allow) + ramp)
             exceeds = power > limit
             self.g_cap_streak = np.where(exceeds, self.g_cap_streak + 1, 0)
             for i in np.flatnonzero(self.g_cap_streak > g.cap_grace_steps):
@@ -1473,6 +1555,8 @@ class BatchedClusterSim:
                 "power_w", "lc_load_fraction", "lc_slack", "safe_mode",
                 "lc_cores", "lc_ways",
             ]
+            if self.schedules[i] is not None:
+                names.append("effective_cap_w")
             if be_app is not None:
                 names += ["be_throughput_norm", "be_freq_ghz", "be_duty"]
             cols = pre["cols"]

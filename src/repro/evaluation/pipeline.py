@@ -61,7 +61,8 @@ from repro.sim.cluster import (
 from repro.sim.colocation import SimConfig
 from repro.workloads.traces import UNIFORM_EVAL_LEVELS
 
-if TYPE_CHECKING:  # guard configs only pass through; import lazily
+if TYPE_CHECKING:  # guard/budget configs only pass through; import lazily
+    from repro.budget.arbiter import BudgetConfig
     from repro.guard.invariants import GuardConfig
 
 #: The evaluation's policy names (Section V-D), plus the TCO-only variant.
@@ -254,6 +255,7 @@ def run_policy(
     guard: Optional["GuardConfig"] = None,
     ledger_path: Optional[str] = None,
     engine: Optional[str] = None,
+    budget: Optional["BudgetConfig"] = None,
 ) -> ClusterRunResult:
     """Run one policy over the full cluster and load sweep.
 
@@ -277,6 +279,11 @@ def run_policy(
     ``engine`` selects the simulation core (``"object"`` per-cell
     oracle / ``"batched"`` structure-of-arrays; see ``docs/ENGINE.md``)
     — another bit-identical execution knob.
+
+    ``budget`` switches on hierarchical lease-based power budgeting
+    (:mod:`repro.budget`, ``docs/BUDGETS.md``): every cell runs under
+    its arbiter-compiled cap schedule and the result carries a
+    :class:`~repro.budget.arbiter.BudgetReport`.
     """
     if placement is None:
         placement = placement_for_policy(catalog, policy, seed=seed, levels=levels)
@@ -291,13 +298,14 @@ def run_policy(
             duration_s=duration_s, config=config, workers=workers,
             dedupe=dedupe, resume=resume, checkpoint_every=checkpoint_every,
             guard=guard, ledger_path=ledger_path, engine=engine,
+            budget=budget,
         )
     if ledger_path is not None and guard is None:
         raise ConfigError("a violation ledger needs a guard config")
     result = run_cluster(plans, catalog.spec, levels=levels,
                          duration_s=duration_s, config=config,
                          workers=workers, dedupe=dedupe, guard=guard,
-                         engine=engine)
+                         engine=engine, budget=budget)
     if ledger_path is not None:
         from repro.guard.ledger import write_ledger
 

@@ -4,7 +4,10 @@ This package supplies the *fault model* for the Pocolo control stack:
 
 * :mod:`repro.faults.schedule` — seeded, time-triggered
   :class:`FaultSchedule` of composable faults (stuck/drifting/dropped-out
-  meters, telemetry gaps, load spikes, stale models);
+  meters, telemetry gaps, load spikes, stale models) plus the power
+  infrastructure family (rack PDU derates and breaker trips, budget
+  arbiter crashes, grant message loss/delay) consumed at plan time by
+  :mod:`repro.budget`;
 * :mod:`repro.faults.meter` — :class:`FaultyPowerMeter`, a drop-in meter
   that honors the schedule;
 * :mod:`repro.faults.cluster` — server crash/recovery plans and the
@@ -27,28 +30,40 @@ from repro.faults.cluster import (
 )
 from repro.faults.meter import FaultyPowerMeter
 from repro.faults.schedule import (
+    ArbiterCrash,
     Fault,
     FaultSchedule,
+    GrantDelay,
+    GrantLoss,
     LoadSpike,
     MeterDrift,
     MeterDropout,
     MeterStuckAt,
     ModelStaleness,
+    RackBreakerTrip,
+    RackPowerDerate,
+    ServerRejoin,
     TelemetryGap,
 )
 
 __all__ = [
+    "ArbiterCrash",
     "ClusterFaultPlan",
     "ClusterFaultReport",
     "Fault",
     "FaultSchedule",
     "FaultyPowerMeter",
+    "GrantDelay",
+    "GrantLoss",
     "LoadSpike",
     "MeterDrift",
     "MeterDropout",
     "MeterStuckAt",
     "ModelStaleness",
+    "RackBreakerTrip",
+    "RackPowerDerate",
     "Replacement",
     "ServerCrash",
+    "ServerRejoin",
     "TelemetryGap",
 ]

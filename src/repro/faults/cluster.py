@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.errors import ConfigError
-from repro.faults.schedule import FaultSchedule
+from repro.faults.schedule import FaultSchedule, ServerRejoin
 
 
 @dataclass(frozen=True)
@@ -54,15 +54,51 @@ class ClusterFaultPlan:
     ``crashes`` are the server-level events; ``cell_faults`` (optional)
     is a :class:`FaultSchedule` applied inside *every* surviving cell's
     colocation run (meter faults, telemetry gaps, load spikes).
+
+    ``rejoins`` are repair events (:class:`ServerRejoin`): the crashed
+    server comes back — empty-handed, like a recovery — before the
+    named level, and the planner re-places any still-parked displaced
+    BE apps with the rejoined capacity in the candidate pool.  A rejoin
+    is the explicit-event twin of ``recover_at_level_index`` (a crash
+    may use one or the other, not both).
+
+    ``infra_faults`` is a :class:`FaultSchedule` of *power
+    infrastructure* faults (rack derates/trips, arbiter crashes, grant
+    loss/delay), consumed at plan time by
+    :func:`repro.budget.arbiter.plan_budget` over the sweep's global
+    clock — it never reaches individual cells.
     """
 
     crashes: Tuple[ServerCrash, ...] = ()
     cell_faults: Optional[FaultSchedule] = None
+    rejoins: Tuple[ServerRejoin, ...] = ()
+    infra_faults: Optional[FaultSchedule] = None
 
     def __post_init__(self) -> None:
         names = [c.lc_name for c in self.crashes]
         if len(names) != len(set(names)):
             raise ConfigError("at most one crash event per server")
+        rejoin_names = [r.lc_name for r in self.rejoins]
+        if len(rejoin_names) != len(set(rejoin_names)):
+            raise ConfigError("at most one rejoin event per server")
+        crash_by_name = {c.lc_name: c for c in self.crashes}
+        for rejoin in self.rejoins:
+            crash = crash_by_name.get(rejoin.lc_name)
+            if crash is None:
+                raise ConfigError(
+                    f"rejoin of {rejoin.lc_name!r} has no crash to repair"
+                )
+            if crash.recover_at_level_index is not None:
+                raise ConfigError(
+                    f"server {rejoin.lc_name!r} has both a recovery and a "
+                    "rejoin; use one"
+                )
+            if rejoin.at_level_index <= crash.at_level_index:
+                raise ConfigError(
+                    f"rejoin of {rejoin.lc_name!r} at level "
+                    f"{rejoin.at_level_index} does not follow its crash at "
+                    f"level {crash.at_level_index}"
+                )
 
     def crashes_at(self, level_index: int) -> Tuple[ServerCrash, ...]:
         """Crash events that fire before this level index."""
@@ -75,6 +111,12 @@ class ClusterFaultPlan:
         return tuple(
             c for c in self.crashes
             if c.recover_at_level_index == level_index
+        )
+
+    def rejoins_at(self, level_index: int) -> Tuple[ServerRejoin, ...]:
+        """Rejoin (repair) events that fire before this level index."""
+        return tuple(
+            r for r in self.rejoins if r.at_level_index == level_index
         )
 
 
@@ -94,6 +136,7 @@ class ClusterFaultReport:
 
     crashes_handled: int = 0
     recoveries_handled: int = 0
+    rejoins_handled: int = 0
     replacements: List[Replacement] = field(default_factory=list)
     solver_fallbacks: int = 0
     degraded_cells: int = 0  # (server, level) cells lost to crashes

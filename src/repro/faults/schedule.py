@@ -195,6 +195,149 @@ class ModelStaleness(Fault):
             raise ConfigError("model staleness fault needs a stale model")
 
 
+# ----------------------------------------------------------------------
+# Power-infrastructure faults (consumed by repro.budget.arbiter at plan
+# time — they reshape budgets, not any single server's sensors)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RackPowerDerate(Fault):
+    """A rack PDU delivers only ``factor`` of its rated capacity.
+
+    Models a shared-feed curtailment (utility demand response, an
+    upstream transformer running hot).  The budget arbiter sees the
+    reduced capacity at its next tick and walks the rack down the
+    brownout ladder as needed.
+    """
+
+    rack: str = ""
+    factor: float = 0.7
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.rack:
+            raise ConfigError("a rack derate must name its rack")
+        if not 0.0 < self.factor < 1.0:
+            raise ConfigError(
+                f"derate factor must be in (0, 1); got {self.factor!r}"
+            )
+
+
+@dataclass(frozen=True)
+class RackBreakerTrip(Fault):
+    """A rack breaker trips; only a residual feed (if any) survives.
+
+    ``residual`` is the fraction of rated capacity still deliverable
+    (a secondary feed); the default 0.25 keeps the rack on the deepest
+    brownout stage rather than dark, which is the recoverable scenario
+    the ladder is designed for.  A residual below the arbiter's
+    ``min_cap_fraction`` makes the rack physically un-cappable — the
+    chaos campaign uses that to surface power-cap violations.
+    """
+
+    rack: str = ""
+    residual: float = 0.25
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.rack:
+            raise ConfigError("a breaker trip must name its rack")
+        if not 0.0 <= self.residual < 1.0:
+            raise ConfigError(
+                f"breaker residual must be in [0, 1); got {self.residual!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ArbiterCrash(Fault):
+    """The budget arbiter is down; no grants are issued in the window.
+
+    This is the fault the lease protocol exists for: outstanding grants
+    keep their expiries, so every server reverts to its fail-safe floor
+    within one lease period of the crash — the kill-the-arbiter drill
+    in ``tests/test_budget_differential.py`` pins exactly that.  The
+    window's end models the arbiter restarting (state restored from its
+    checkpoint); granting resumes at the next tick.
+    """
+
+
+@dataclass(frozen=True)
+class GrantLoss(Fault):
+    """Grant messages to the named servers are lost in the window.
+
+    An affected server keeps running on its *previous* grant until that
+    lease expires, then reverts to its floor — the grant is stale, never
+    forged.  An empty ``lc_names`` loses every server's grants (a dead
+    management switch rather than one flaky NIC).
+    """
+
+    lc_names: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(
+            self, "lc_names", tuple(str(n) for n in self.lc_names)
+        )
+
+    def affects(self, lc_name: str) -> bool:
+        """True when ``lc_name``'s grants are lost in this window."""
+        return not self.lc_names or lc_name in self.lc_names
+
+
+@dataclass(frozen=True)
+class GrantDelay(Fault):
+    """Grant messages issued in the window arrive ``delay_s`` late.
+
+    A delayed grant takes effect late but its lease clock starts at
+    *issue* time, so staleness is still bounded by one lease period; a
+    delay longer than the arbiter period can even land a stale grant on
+    top of a fresher one — the reordering hazard the rack-overcommit
+    invariant watches for.
+    """
+
+    delay_s: float = 2.0
+    lc_names: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.delay_s <= 0.0:
+            raise ConfigError(
+                f"grant delay must be positive; got {self.delay_s!r}"
+            )
+        object.__setattr__(
+            self, "lc_names", tuple(str(n) for n in self.lc_names)
+        )
+
+    def affects(self, lc_name: str) -> bool:
+        """True when ``lc_name``'s grants are delayed in this window."""
+        return not self.lc_names or lc_name in self.lc_names
+
+
+@dataclass(frozen=True)
+class ServerRejoin:
+    """A crashed server is repaired and rejoins the fleet.
+
+    The mirror image of :class:`repro.faults.cluster.ServerCrash`, and
+    like it *level-indexed*: cluster membership changes at sweep level
+    boundaries, where cells are planned.  From ``at_level_index`` the
+    server hosts cells again (initially BE-empty — its displaced
+    co-runners may be re-placed onto it by the planner) and its floor
+    re-enters the budget arbiter's rack capacity.  Rides in
+    :class:`repro.faults.cluster.ClusterFaultPlan`, not in a
+    :class:`FaultSchedule`.
+    """
+
+    lc_name: str
+    at_level_index: int
+
+    def __post_init__(self) -> None:
+        if self.at_level_index < 1:
+            raise ConfigError(
+                "a rejoin cannot precede the crash it repairs; "
+                f"at_level_index must be >= 1, got {self.at_level_index}"
+            )
+
+
 F = TypeVar("F", bound=Fault)
 
 

@@ -47,6 +47,7 @@ from repro.guard.tolerance import exceeds_cap, tolerance_band, within_tolerance
 
 if TYPE_CHECKING:  # pragma: no cover - names for type checkers only
     from repro.guard.campaign import (
+        BudgetCaseRunner,
         CampaignConfig,
         CampaignResult,
         CaseOutcome,
@@ -78,6 +79,7 @@ if TYPE_CHECKING:  # pragma: no cover - names for type checkers only
 
 #: Lazily-resolved exports: symbol -> defining submodule (PEP 562).
 _LAZY = {
+    "BudgetCaseRunner": "repro.guard.campaign",
     "CampaignConfig": "repro.guard.campaign",
     "CampaignResult": "repro.guard.campaign",
     "CaseOutcome": "repro.guard.campaign",
@@ -127,6 +129,7 @@ def __dir__() -> list:
 __all__ = [
     "MODE_ENFORCE",
     "MODE_RECORD",
+    "BudgetCaseRunner",
     "BudgetConservationInvariant",
     "CampaignConfig",
     "CampaignResult",

@@ -32,7 +32,16 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -41,15 +50,20 @@ from repro.apps.latency_critical import LatencyCriticalApp
 from repro.engine.parallel import SupervisedPool
 from repro.errors import ConfigError
 from repro.faults.schedule import (
+    ArbiterCrash,
     Fault,
     FaultSchedule,
+    GrantDelay,
+    GrantLoss,
     LoadSpike,
     MeterDrift,
     MeterDropout,
     MeterStuckAt,
+    RackBreakerTrip,
+    RackPowerDerate,
     TelemetryGap,
 )
-from repro.guard.invariants import GuardConfig, GuardReport
+from repro.guard.invariants import GuardConfig, GuardReport, Violation
 from repro.hwmodel.server import Server
 from repro.hwmodel.spec import ServerSpec
 # Submodule import, not ``from repro.sim import``: repro.sim's package
@@ -62,6 +76,10 @@ from repro.sim.colocation import (
     build_colocated_server,
 )
 from repro.workloads.traces import ConstantTrace
+
+if TYPE_CHECKING:  # pragma: no cover - cluster/budget layers sit above
+    from repro.budget.arbiter import BudgetConfig
+    from repro.sim.cluster import ServerPlan
 
 #: Builds a manager for a freshly assembled campaign server (mirrors
 #: :data:`repro.sim.cluster.ManagerFactory`; restated here to keep this
@@ -113,6 +131,11 @@ class CampaignConfig:
     shrink_budget: int = 32
     stop_on_violation: bool = True
     workers: int = 1
+    #: Include the power-infrastructure family (rack derates/trips,
+    #: arbiter crashes, grant loss/delay) in the mutation pool.  Only
+    #: meaningful with a budget-aware runner (cell runners ignore infra
+    #: faults, wasting the campaign's budget on no-ops).
+    infra_faults: bool = False
 
     def __post_init__(self) -> None:
         if self.rounds < 0 or self.batch_size < 1 or self.initial_corpus < 1:
@@ -270,6 +293,126 @@ class CaseOutcome:
         return tuple(seen)
 
 
+#: The power-infrastructure fault family: consumed at plan time by the
+#: budget arbiter, never delivered to individual cells.
+_INFRA_FAULTS = (
+    RackPowerDerate, RackBreakerTrip, ArbiterCrash, GrantLoss, GrantDelay,
+)
+
+#: Budget counters that participate in coverage — degradation signals
+#: only; tick/grant totals are invariant across inputs of one runner
+#: and would bucket every case identically anyway.
+BUDGET_COUNTERS: Tuple[str, ...] = (
+    "budget.skipped_ticks",
+    "budget.grants_expired",
+    "budget.grants_lost",
+    "budget.grants_delayed",
+    "budget.brownout_entries",
+    "budget.throttle_ticks",
+    "budget.evict_ticks",
+    "budget.shed_ticks",
+    "budget.evicted_cells",
+    "budget.shed_cells",
+    "budget.max_stage",
+)
+
+
+@dataclass(frozen=True)
+class BudgetCaseRunner:
+    """One guarded, *budgeted* mini-cluster sweep as a function of a
+    fault schedule.
+
+    The budget twin of :class:`ColocationCaseRunner` for campaigns with
+    ``infra_faults`` on: the genome schedule is split into its
+    power-infrastructure faults (fed to the lease arbiter at plan time
+    via ``ClusterFaultPlan.infra_faults``) and its cell faults (shared
+    by every surviving cell), then the whole fleet runs under the
+    budget's cap schedules.  Coverage merges the per-cell degradation
+    counters with the arbiter's ``budget.*`` counters, so mutants that
+    push the brownout ladder deeper or expire more leases light up new
+    signatures; the returned report folds in the plan-time budget
+    audit, letting the campaign shrink schedules that break the
+    grant-conservation or rack-overcommit contracts too.
+    """
+
+    plans: Tuple["ServerPlan", ...]
+    spec: ServerSpec
+    levels: Tuple[float, ...] = (0.3, 0.6, 0.9)
+    duration_s: float = 8.0
+    config: SimConfig = SimConfig()
+    guard: GuardConfig = GuardConfig()
+    budget: Optional["BudgetConfig"] = None
+
+    def __post_init__(self) -> None:
+        if not self.plans:
+            raise ConfigError("budget campaigns need at least one plan")
+        if self.guard.enforcing:
+            raise ConfigError(
+                "campaign runners need a record-mode guard: enforce mode "
+                "would kill the case instead of reporting its violations"
+            )
+        if not self.levels or any(
+            not 0.0 <= level <= 1.0 for level in self.levels
+        ):
+            raise ConfigError("load levels must lie in [0, 1]")
+        if self.duration_s <= 0:
+            raise ConfigError("duration must be positive")
+
+    def run(self, schedule: FaultSchedule) -> "CaseOutcome":
+        """Execute one budgeted sweep under ``schedule``; summarize it."""
+        # Imported lazily: the cluster and budget layers sit above this
+        # module (repro.sim's package __init__ imports repro.guard).
+        from repro.budget.arbiter import BudgetConfig
+        from repro.faults.cluster import ClusterFaultPlan
+        from repro.sim.cluster import run_cluster
+
+        infra = [f for f in schedule if isinstance(f, _INFRA_FAULTS)]
+        cell = [f for f in schedule if not isinstance(f, _INFRA_FAULTS)]
+        fault_plan = ClusterFaultPlan(
+            cell_faults=FaultSchedule(cell) if cell else None,
+            infra_faults=FaultSchedule(infra) if infra else None,
+        )
+        budget = self.budget if self.budget is not None else BudgetConfig()
+        result = run_cluster(
+            list(self.plans), self.spec, levels=self.levels,
+            duration_s=self.duration_s, config=self.config,
+            fault_plan=fault_plan, guard=self.guard, budget=budget,
+        )
+        counters: Dict[str, int] = {}
+        checks = 0
+        total = 0
+        violations: List[Violation] = []
+        for outcome in result.outcomes:
+            for name, value in degradation_counters(outcome.result).items():
+                counters[name] = counters.get(name, 0) + value
+            report = outcome.result.guard_report
+            if report is not None:
+                checks += report.checks
+                total += report.total_violations
+                violations.extend(report.violations)
+        budget_report = result.budget_report
+        if budget_report is not None:
+            merged = budget_report.counters()
+            for name in BUDGET_COUNTERS:
+                counters[name] = counters.get(name, 0) + int(merged[name])
+            audit = budget_report.guard_report
+            if audit is not None:
+                checks += audit.checks
+                total += audit.total_violations
+                violations.extend(audit.violations)
+        report = GuardReport(
+            mode=self.guard.mode,
+            checks=checks,
+            total_violations=total,
+            violations=tuple(violations[: self.guard.max_violations]),
+        )
+        return CaseOutcome(
+            schedule=schedule,
+            report=report,
+            counters=tuple(sorted(counters.items())),
+        )
+
+
 def _evaluate_case(
     runner: ColocationCaseRunner, schedule: FaultSchedule
 ) -> CaseOutcome:
@@ -282,16 +425,43 @@ def _evaluate_case(
 # ----------------------------------------------------------------------
 
 def _random_fault(
-    rng: np.random.Generator, horizon_s: float, mean_duration_s: float
+    rng: np.random.Generator,
+    horizon_s: float,
+    mean_duration_s: float,
+    infra: bool = False,
 ) -> Fault:
     """Draw one fault, mirroring :meth:`FaultSchedule.random`'s mix
-    (plus meter dropout, which the soak mix omits)."""
+    (plus meter dropout, which the soak mix omits).
+
+    With ``infra`` the pool widens to the power-infrastructure family;
+    rack-scoped faults target rack0/rack1 (a fault naming a rack the
+    budget tree lacks is a no-op, which the coverage signal discards).
+    """
     start = float(rng.uniform(0.0, horizon_s * 0.8))
     duration = float(min(
         max(1.0, rng.exponential(mean_duration_s)),
         horizon_s - start,
     ))
-    kind = int(rng.integers(5))
+    kind = int(rng.integers(10 if infra else 5))
+    if kind == 5:
+        factor = float(rng.uniform(0.3, 0.9))
+        return RackPowerDerate(
+            start, duration, rack=f"rack{int(rng.integers(2))}", factor=factor
+        )
+    if kind == 6:
+        residual = float(rng.uniform(0.0, 0.6))
+        return RackBreakerTrip(
+            start, duration, rack=f"rack{int(rng.integers(2))}",
+            residual=residual,
+        )
+    if kind == 7:
+        return ArbiterCrash(start, duration)
+    if kind == 8:
+        return GrantLoss(start, duration)
+    if kind == 9:
+        return GrantDelay(
+            start, duration, delay_s=float(rng.uniform(0.5, 8.0))
+        )
     if kind == 0:
         if float(rng.uniform()) < 0.5:
             # Pinned low — the dangerous direction for a cap loop: the
@@ -315,6 +485,14 @@ def _random_fault(
 
 def _intensify(fault: Fault, rng: np.random.Generator) -> Fault:
     """Make one fault harsher without leaving its validity envelope."""
+    if isinstance(fault, RackPowerDerate):
+        factor = max(0.05, fault.factor * float(rng.uniform(0.5, 0.9)))
+        return dataclasses.replace(fault, factor=factor)
+    if isinstance(fault, RackBreakerTrip):
+        return dataclasses.replace(fault, residual=fault.residual / 2.0)
+    if isinstance(fault, GrantDelay):
+        delay = min(30.0, fault.delay_s * float(rng.uniform(1.3, 2.0)))
+        return dataclasses.replace(fault, delay_s=delay)
     if isinstance(fault, MeterDrift):
         scale = float(rng.uniform(1.3, 2.0))
         return dataclasses.replace(fault, rate_w_per_s=fault.rate_w_per_s * scale)
@@ -351,9 +529,10 @@ def mutate_schedule(
         ops.extend(("drop", "shift", "stretch", "intensify"))
     op = ops[int(rng.integers(len(ops)))]
     if op == "add":
-        faults.append(
-            _random_fault(rng, config.horizon_s, config.mean_duration_s)
-        )
+        faults.append(_random_fault(
+            rng, config.horizon_s, config.mean_duration_s,
+            infra=config.infra_faults,
+        ))
     elif op == "drop":
         faults.pop(int(rng.integers(len(faults))))
     elif op == "shift":
@@ -390,6 +569,16 @@ class ShrinkResult:
 
 def _soften(fault: Fault) -> Optional[Fault]:
     """One step toward benign for a fault's magnitude; None when spent."""
+    if isinstance(fault, RackPowerDerate) and fault.factor < 0.85:
+        return dataclasses.replace(
+            fault, factor=fault.factor + (0.9 - fault.factor) / 2.0
+        )
+    if isinstance(fault, RackBreakerTrip) and fault.residual < 0.45:
+        return dataclasses.replace(
+            fault, residual=fault.residual + (0.5 - fault.residual) / 2.0
+        )
+    if isinstance(fault, GrantDelay) and fault.delay_s > 0.5:
+        return dataclasses.replace(fault, delay_s=fault.delay_s / 2.0)
     if isinstance(fault, MeterDrift) and abs(fault.rate_w_per_s) > 0.25:
         return dataclasses.replace(fault, rate_w_per_s=fault.rate_w_per_s / 2.0)
     if isinstance(fault, LoadSpike) and fault.factor > 1.1:

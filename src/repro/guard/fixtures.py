@@ -21,12 +21,17 @@ from typing import Any, Dict, List, Tuple, Type
 
 from repro.errors import ConfigError
 from repro.faults.schedule import (
+    ArbiterCrash,
     Fault,
     FaultSchedule,
+    GrantDelay,
+    GrantLoss,
     LoadSpike,
     MeterDrift,
     MeterDropout,
     MeterStuckAt,
+    RackBreakerTrip,
+    RackPowerDerate,
     TelemetryGap,
 )
 from repro.runtime.atomic import PathLike, atomic_write_json
@@ -34,10 +39,16 @@ from repro.runtime.atomic import PathLike, atomic_write_json
 #: Format tag on every fixture file, for forward compatibility.
 FIXTURE_FORMAT = "pocolo-guard-fixture/1"
 
-#: Fault kinds that are pure data and therefore serializable.
+#: Fault kinds that are pure data and therefore serializable.  The
+#: power-infrastructure family (rack derates/trips, arbiter crashes,
+#: grant loss/delay) is data-pure too and pins budget-campaign
+#: reproducers.
 _FAULT_KINDS: Dict[str, Type[Fault]] = {
     kind.__name__: kind
-    for kind in (MeterStuckAt, MeterDrift, MeterDropout, TelemetryGap, LoadSpike)
+    for kind in (
+        MeterStuckAt, MeterDrift, MeterDropout, TelemetryGap, LoadSpike,
+        RackPowerDerate, RackBreakerTrip, ArbiterCrash, GrantLoss, GrantDelay,
+    )
 }
 
 

@@ -37,6 +37,19 @@ snapshot of the live simulation:
 Each invariant yields :class:`Violation` records; the monitor decides
 whether to collect them (``record`` mode) or raise
 :class:`~repro.errors.InvariantViolationError` (``enforce`` mode).
+
+Two further invariants guard the *hierarchical budget* layer
+(:mod:`repro.budget`) and run at plan time over :class:`BudgetSample`
+snapshots of the arbiter's tree, not per control tick:
+
+``grant-conservation``
+    At every tree node, the caps the arbiter issues to its children
+    never exceed the node's capacity beyond the configured controlled
+    oversubscription.
+``rack-overcommit``
+    The caps *in force* at a rack (issued or stale) never exceed its
+    deliverable capacity for longer than the lease grace window — the
+    bound the lease protocol exists to enforce.
 """
 
 from __future__ import annotations
@@ -95,6 +108,16 @@ class GuardConfig:
     check_rng: bool = True
     max_violations: int = 100
     deep_check_every: int = 8
+    #: A step *down* in the effective cap (a budget lease expiring, the
+    #: arbiter curtailing a rack) grants the cap loop a decaying extra
+    #: allowance equal to the drop: the 100 ms loop needs several duty
+    #: steps to shed that many watts, and the excursion is the *plan's*
+    #: doing, not the controller's.  The allowance halves (by default)
+    #: every control tick and snaps to zero below ``cap_ramp_min_w``,
+    #: so a constant-cap run computes the exact same envelope as before
+    #: these fields existed (x + 0.0 == x).
+    cap_ramp_decay: float = 0.5
+    cap_ramp_min_w: float = 0.5
 
     def __post_init__(self) -> None:
         if self.mode not in (MODE_RECORD, MODE_ENFORCE):
@@ -112,6 +135,10 @@ class GuardConfig:
             raise ConfigError("max_violations must be at least 1")
         if self.deep_check_every < 1:
             raise ConfigError("deep_check_every must be at least 1")
+        if not 0.0 <= self.cap_ramp_decay < 1.0:
+            raise ConfigError("cap_ramp_decay must be in [0, 1)")
+        if self.cap_ramp_min_w < 0.0:
+            raise ConfigError("cap_ramp_min_w cannot be negative")
 
     @property
     def enforcing(self) -> bool:
@@ -233,6 +260,12 @@ class PowerCapInvariant(Invariant):
     Only excursions persisting *beyond* ``cap_grace_steps`` consecutive
     in-window control ticks count: the 100 ms loop needs a few samples
     to observe and squash a step change.
+
+    Under a budget :class:`~repro.budget.schedule.CapSchedule` the
+    effective cap moves mid-run; a step *down* additionally grants a
+    decaying ramp allowance (see ``GuardConfig.cap_ramp_decay``) so the
+    controller is judged on how fast it *sheds* the drop, not punished
+    for the instant the plan moved the goalposts.
     """
 
     name = "power-cap"
@@ -240,6 +273,8 @@ class PowerCapInvariant(Invariant):
     def __init__(self, config: GuardConfig) -> None:
         super().__init__(config)
         self._streak = 0
+        self._prev_cap_w: Optional[float] = None
+        self._ramp_w = 0.0
 
     def _drift_allowance_w(self, sample: GuardSample) -> float:
         """Under-reporting bias of every active meter drift, in watts."""
@@ -261,6 +296,22 @@ class PowerCapInvariant(Invariant):
             for name in sample.server.secondary_tenants()
         )
 
+    def _ramp_allowance_w(self, cap: float) -> float:
+        """Decaying allowance tracking downward cap steps, in watts.
+
+        The float op order here is mirrored bit-for-bit by the batched
+        engine's lane arrays; a run whose cap never moves keeps the
+        allowance at exactly 0.0.
+        """
+        ramp = self._ramp_w * self.config.cap_ramp_decay
+        if self._prev_cap_w is not None and cap < self._prev_cap_w:
+            ramp = ramp + (self._prev_cap_w - cap)
+        if ramp < self.config.cap_ramp_min_w:
+            ramp = 0.0
+        self._ramp_w = ramp
+        self._prev_cap_w = cap
+        return ramp
+
     def observe(self, sample: GuardSample) -> Optional[Violation]:
         if not sample.in_window:
             return None
@@ -269,7 +320,7 @@ class PowerCapInvariant(Invariant):
             self.config.cap_margin_w
             + self._drift_allowance_w(sample)
             + self._safe_mode_allowance_w(sample)
-        )
+        ) + self._ramp_allowance_w(cap)
         if not exceeds_cap(sample.power_w, cap, margin):
             self._streak = 0
             return None
@@ -511,3 +562,141 @@ class InvariantRegistry:
     def names(self) -> Tuple[str, ...]:
         """Registered invariant names, in evaluation order."""
         return tuple(inv.name for inv in self.invariants)
+
+
+# ----------------------------------------------------------------------
+# Budget-tree invariants (evaluated at plan time by repro.budget)
+# ----------------------------------------------------------------------
+
+#: Absolute float slack for budget-sum comparisons, in watts.  Budget
+#: arithmetic is a handful of additions over O(rack) terms; anything
+#: beyond accumulated rounding dust is a real conservation breach.
+BUDGET_SUM_TOL_W = 1e-6
+
+
+@dataclass(frozen=True)
+class BudgetSample:
+    """One budget-tree node's state at one arbiter period boundary.
+
+    Pure data (unlike :class:`GuardSample`'s live references): the
+    budget invariants audit the *plan*, which exists before any
+    simulation state does.  ``issued`` distinguishes a live arbiter
+    tick (fresh assignments) from an in-force audit of a period the
+    arbiter missed — stale grants are legitimate there, up to the
+    lease grace the rack-overcommit invariant enforces.
+    """
+
+    time_s: float
+    node: str
+    committed_w: float
+    capacity_w: float
+    oversubscription: float
+    issued: bool
+    lease_s: float
+    period_s: float
+    #: The least the arbiter can physically issue to this node's
+    #: children (the sum of their emergency minimums — caps below
+    #: ``min_cap_fraction`` of a floor cannot be enforced by a capper).
+    #: When a fault collapses capacity beneath this, issuing it is the
+    #: arbiter doing its best, not over-committing.
+    min_deliverable_w: float = 0.0
+
+
+class BudgetTreeInvariant:
+    """Base for plan-time budget checks (same Violation vocabulary)."""
+
+    name: str = ""
+
+    def observe(self, sample: BudgetSample) -> Optional[Violation]:
+        """Check one node sample; return a violation or None."""
+        raise NotImplementedError
+
+    def violation(
+        self, sample: BudgetSample, message: str, observed: float, limit: float
+    ) -> Violation:
+        """Build a violation record anchored at the sample's clock."""
+        return Violation(
+            invariant=self.name,
+            time_s=sample.time_s,
+            message=message,
+            observed=observed,
+            limit=limit,
+        )
+
+
+class GrantConservationInvariant(BudgetTreeInvariant):
+    """The arbiter never issues more than a node can deliver.
+
+    At every tree node, on every tick the arbiter actually runs, the
+    caps issued to the node's children must sum to at most the node's
+    capacity times ``1 + oversubscription`` (the *controlled*
+    oversubscription CloudPowerCap-style arbiters may deliberately
+    allow) — or to the node's emergency minimum when a fault collapses
+    capacity beneath what the cappers can physically enforce.  A breach
+    is an arbiter bug — fairness shares overflowing the pool, a crashed
+    server's floor double-counted — never a fault's fault: faults
+    shrink capacity *before* the arbiter assigns.
+    """
+
+    name = "grant-conservation"
+
+    def observe(self, sample: BudgetSample) -> Optional[Violation]:
+        if not sample.issued:
+            return None
+        limit = (
+            max(
+                sample.capacity_w * (1.0 + sample.oversubscription),
+                sample.min_deliverable_w,
+            )
+            + BUDGET_SUM_TOL_W
+        )
+        if sample.committed_w <= limit:
+            return None
+        return self.violation(
+            sample,
+            f"caps issued to {sample.node!r} children exceed its capacity "
+            "beyond the controlled-oversubscription bound",
+            observed=sample.committed_w,
+            limit=limit,
+        )
+
+
+class RackOvercommitInvariant(BudgetTreeInvariant):
+    """In-force caps above capacity never outlive the lease grace.
+
+    Stale grants legitimately overcommit a rack whose capacity just
+    collapsed (the arbiter may even be down) — but only until their
+    leases run out.  Overcommit persisting beyond one lease period plus
+    one arbiter period (the discretization slack of auditing at period
+    boundaries) means an expiry was not enforced, which is precisely
+    the failure mode lease-based granting exists to rule out.
+    """
+
+    name = "rack-overcommit"
+
+    def __init__(self) -> None:
+        self._over_since_s: dict[str, float] = {}
+
+    def observe(self, sample: BudgetSample) -> Optional[Violation]:
+        limit = (
+            max(
+                sample.capacity_w * (1.0 + sample.oversubscription),
+                sample.min_deliverable_w,
+            )
+            + BUDGET_SUM_TOL_W
+        )
+        if sample.committed_w <= limit:
+            self._over_since_s.pop(sample.node, None)
+            return None
+        since_s = self._over_since_s.setdefault(sample.node, sample.time_s)
+        grace_s = sample.lease_s + sample.period_s
+        if sample.time_s - since_s <= grace_s:
+            return None
+        return self.violation(
+            sample,
+            f"rack {sample.node!r} in-force caps above capacity for "
+            f"{sample.time_s - since_s:g}s, beyond the {grace_s:g}s lease "
+            "grace (a grant outlived its lease)",
+            observed=sample.committed_w,
+            limit=limit,
+        )

@@ -37,6 +37,7 @@ from repro.engine.select import resolve_engine
 from repro.errors import CheckpointError, ConfigError
 from repro.faults.cluster import ClusterFaultPlan
 from repro.guard.invariants import GuardConfig
+from repro.budget.arbiter import BudgetConfig
 from repro.hwmodel.spec import ServerSpec
 from repro.runtime.atomic import PathLike
 from repro.runtime.checkpoint import Checkpoint
@@ -73,16 +74,18 @@ def sweep_run_key(
     config: SimConfig = SimConfig(),
     fault_plan: Optional[ClusterFaultPlan] = None,
     guard: Optional[GuardConfig] = None,
+    budget: Optional[BudgetConfig] = None,
 ) -> str:
     """Digest a sweep's identity into a stable, content-based key.
 
     Two processes given the same configuration compute the same key;
     any change to the apps, provisioning, levels, duration, sim config,
-    fault plan or guard config changes it.  :meth:`Checkpoint.load`
-    compares this key before resuming, so a checkpoint can never
-    silently continue a *different* sweep.  The guard part is appended
-    only when a guard is configured, so pre-guard checkpoints of
-    unguarded sweeps keep resuming.
+    fault plan, guard config or budget config changes it.
+    :meth:`Checkpoint.load` compares this key before resuming, so a
+    checkpoint can never silently continue a *different* sweep.  The
+    guard, budget, rejoin and infra-fault parts are appended only when
+    configured, so checkpoints written before those features existed
+    keep resuming.
     """
     parts: List[str] = [
         f"spec={_stable_repr(spec)}",
@@ -108,8 +111,19 @@ def sweep_run_key(
                 else repr([_stable_repr(f) for f in faults])
             )
         )
+        if fault_plan.rejoins:
+            parts.append(
+                f"rejoins={[_stable_repr(r) for r in fault_plan.rejoins]!r}"
+            )
+        if fault_plan.infra_faults is not None:
+            parts.append(
+                "infra_faults="
+                + repr([_stable_repr(f) for f in fault_plan.infra_faults])
+            )
     if guard is not None:
         parts.append(f"guard={_stable_repr(guard)}")
+    if budget is not None:
+        parts.append(f"budget={_stable_repr(budget)}")
     return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
 
 
@@ -167,6 +181,7 @@ def run_cluster_checkpointed(
     guard: Optional[GuardConfig] = None,
     ledger_path: Optional[PathLike] = None,
     engine: Optional[str] = None,
+    budget: Optional[BudgetConfig] = None,
 ) -> ClusterRunResult:
     """:func:`~repro.sim.cluster.run_cluster`, crash-safe.
 
@@ -217,11 +232,12 @@ def run_cluster_checkpointed(
     if ledger_path is not None and guard is None:
         raise ConfigError("a violation ledger needs a guard config")
     tasks, skeleton = plan_cluster_tasks(
-        plans, spec, levels, duration_s, config, fault_plan, guard=guard
+        plans, spec, levels, duration_s, config, fault_plan, guard=guard,
+        budget=budget,
     )
     run_key = sweep_run_key(
         plans, spec, levels=levels, duration_s=duration_s,
-        config=config, fault_plan=fault_plan, guard=guard,
+        config=config, fault_plan=fault_plan, guard=guard, budget=budget,
     )
     if dedupe:
         exec_tasks, keys, first_index = _dedupe_plan(tasks)

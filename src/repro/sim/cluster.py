@@ -21,6 +21,8 @@ import numpy as np
 
 from repro.apps.best_effort import BestEffortApp
 from repro.apps.latency_critical import LatencyCriticalApp
+from repro.budget.arbiter import BudgetConfig, BudgetPlan, BudgetReport, plan_budget
+from repro.budget.schedule import CapSchedule
 from repro.core.placement import assign_with_fallback
 from repro.core.server_manager import ServerManagerBase
 from repro.engine.parallel import CellKey, map_ordered
@@ -77,11 +79,14 @@ class ClusterRunResult:
 
     ``fault_report`` is populated only by faulted runs (crash/recovery
     handling, re-placements, degraded cells); it stays ``None`` for
-    fault-free sweeps.
+    fault-free sweeps.  ``budget_report`` is populated only by budgeted
+    runs (:mod:`repro.budget`): grant/lease counters, brownout stage
+    history and the plan-time budget-invariant audit.
     """
 
     outcomes: List[LevelOutcome] = field(default_factory=list)
     fault_report: Optional[ClusterFaultReport] = None
+    budget_report: Optional[BudgetReport] = None
 
     def servers(self) -> List[str]:
         """LC server names present, in first-seen order."""
@@ -149,6 +154,7 @@ def _run_cell(
     be_app: Optional[BestEffortApp],
     faults: Optional[FaultSchedule] = None,
     guard: Optional[GuardConfig] = None,
+    cap_schedule: Optional[CapSchedule] = None,
 ) -> LevelOutcome:
     """One fresh (server, level) steady-state colocation cell."""
     server = build_colocated_server(
@@ -168,6 +174,7 @@ def _run_cell(
         config=config,
         faults=faults,
         guard=guard,
+        cap_schedule=cap_schedule,
     )
     outcome = sim.run(duration_s)
     return LevelOutcome(
@@ -187,6 +194,7 @@ def _cell_key(
     be_app: Optional[BestEffortApp],
     faults: Optional[FaultSchedule],
     guard: Optional[GuardConfig] = None,
+    cap_schedule: Optional[CapSchedule] = None,
 ) -> CellKey:
     """Identity of one cell for deduplication.
 
@@ -197,7 +205,9 @@ def _cell_key(
     which is precisely the case dedupe targets; manager factories are
     compared by value when hashable (the pipeline's factories are) and
     by identity otherwise (user closures never dedupe by accident).
-    Guard configs are frozen value objects and compare by content.
+    Guard configs and cap schedules are frozen value objects and
+    compare by content — two replicas handed value-equal budget
+    schedules still dedupe to one cell.
     """
     try:
         hash(plan.manager_factory)
@@ -215,6 +225,7 @@ def _cell_key(
         config,
         None if faults is None else id(faults),
         guard,
+        cap_schedule,
     )
 
 
@@ -229,6 +240,7 @@ def run_cluster(
     dedupe: bool = False,
     guard: Optional[GuardConfig] = None,
     engine: Optional[str] = None,
+    budget: Optional[BudgetConfig] = None,
 ) -> ClusterRunResult:
     """Run every server plan at every load level, fresh state per cell.
 
@@ -262,9 +274,17 @@ def run_cluster(
     oracle per cell it cannot claim.  ``None`` uses the ambient default
     (:func:`repro.engine.select.default_engine`).  Both are bit-identical
     — the batched differential suite pins it.
+
+    ``budget`` switches on hierarchical power budgeting
+    (:mod:`repro.budget`): the lease-granting arbiter is planned over
+    the sweep timeline up front and every cell receives its compiled
+    :class:`~repro.budget.schedule.CapSchedule`; the result carries a
+    :class:`~repro.budget.arbiter.BudgetReport`.  Cells stay pure, so
+    dedupe, checkpointing and both engines keep working unchanged.
     """
     tasks, result = plan_cluster_tasks(
-        plans, spec, levels, duration_s, config, fault_plan, guard=guard
+        plans, spec, levels, duration_s, config, fault_plan, guard=guard,
+        budget=budget,
     )
     keys = [_cell_key(*task) for task in tasks] if dedupe else None
     engine_name = resolve_engine(engine)
@@ -292,6 +312,7 @@ def plan_cluster_tasks(
     config: SimConfig = SimConfig(),
     fault_plan: Optional[ClusterFaultPlan] = None,
     guard: Optional[GuardConfig] = None,
+    budget: Optional[BudgetConfig] = None,
 ) -> Tuple[List[Tuple], ClusterRunResult]:
     """Decide every cell of a sweep without executing any of them.
 
@@ -306,21 +327,51 @@ def plan_cluster_tasks(
     task index, and on resume re-runs only the incomplete ones —
     bit-identical because each cell is a pure function of its tuple.
     ``run_cluster`` itself is ``plan_cluster_tasks`` + ``map_ordered``.
+
+    With a ``budget``, the lease arbiter is planned first (also pure:
+    demand comes from app power models, infra faults are data) and each
+    cell's task tuple gains its :class:`CapSchedule` as a ninth element;
+    unbudgeted tasks keep their historical eight-element shape.
     """
     if not plans:
         raise ConfigError("cluster needs at least one server plan")
     if not levels:
         raise ConfigError("need at least one load level")
+    budget_plan: Optional[BudgetPlan] = None
+    if budget is not None:
+        budget_plan = plan_budget(
+            plans, spec, levels, duration_s, budget,
+            fault_plan=fault_plan, guard=guard,
+        )
     if fault_plan is not None:
         return _plan_cluster_faulted(
-            plans, spec, levels, duration_s, config, fault_plan, guard
+            plans, spec, levels, duration_s, config, fault_plan, guard,
+            budget_plan,
         )
-    tasks: List[Tuple] = [
-        (plan, spec, level, duration_s, config, plan.be_app, None, guard)
-        for plan in plans
-        for level in levels
-    ]
-    return tasks, ClusterRunResult()
+    if budget_plan is None:
+        tasks: List[Tuple] = [
+            (plan, spec, level, duration_s, config, plan.be_app, None, guard)
+            for plan in plans
+            for level in levels
+        ]
+        return tasks, ClusterRunResult()
+    stats = budget_plan.report.stats
+    budgeted_tasks: List[Tuple] = []
+    for plan in plans:
+        name = plan.lc_app.name
+        for level_index, level in enumerate(levels):
+            be_app = plan.be_app
+            if budget_plan.is_evicted(name, level_index) and be_app is not None:
+                be_app = None
+                stats.evicted_cells += 1
+            scale = budget_plan.scale_for(name, level_index)
+            if scale != 1.0:
+                stats.shed_cells += 1
+            budgeted_tasks.append((
+                plan, spec, level * scale, duration_s, config, be_app,
+                None, guard, budget_plan.schedule_for(name, level_index),
+            ))
+    return budgeted_tasks, ClusterRunResult(budget_report=budget_plan.report)
 
 
 def _replace_displaced(
@@ -377,8 +428,9 @@ def _plan_cluster_faulted(
     config: SimConfig,
     fault_plan: ClusterFaultPlan,
     guard: Optional[GuardConfig] = None,
+    budget_plan: Optional[BudgetPlan] = None,
 ) -> Tuple[List[Tuple], ClusterRunResult]:
-    """Plan the level-major sweep with crash/recovery handling.
+    """Plan the level-major sweep with crash/recovery/rejoin handling.
 
     Levels are the timeline; each surviving server runs its level cell.
     A host with several BE co-runners (after re-placement) time-shares
@@ -386,23 +438,36 @@ def _plan_cluster_faulted(
     duration on a fresh server (the Section V-G time-sharing extension),
     so their reported throughputs are per-share averages.
 
+    A *recovery* brings the server back empty-handed and nothing else
+    moves (migration is not free, Section I).  A *rejoin* additionally
+    retries every parked BE app: the repaired server enlarges the
+    candidate pool, so apps that no survivor could host get one more
+    pass through the re-placement matching.
+
     The crash/recovery/re-placement control flow depends only on the
     fault plan — never on cell outcomes — so the timeline is walked
     here to decide every cell (and the full fault report) up front; the
-    cells then execute through the engine in timeline order.
+    cells then execute through the engine in timeline order.  With a
+    ``budget_plan``, each emitted task gains its host's
+    :class:`CapSchedule` as a ninth element and brownout evictions /
+    LC sheds are applied per level window.
     """
     known = {plan.lc_app.name for plan in plans}
     for crash in fault_plan.crashes:
         if crash.lc_name not in known:
             raise ConfigError(f"crash names unknown server {crash.lc_name!r}")
     report = ClusterFaultReport()
-    result = ClusterRunResult(fault_report=report)
+    result = ClusterRunResult(
+        fault_report=report,
+        budget_report=budget_plan.report if budget_plan is not None else None,
+    )
     plan_by_name = {plan.lc_app.name: plan for plan in plans}
     hosting: Dict[str, List[BestEffortApp]] = {
         plan.lc_app.name: ([plan.be_app] if plan.be_app is not None else [])
         for plan in plans
     }
     tasks: List[Tuple] = []
+    parked: List[Tuple[BestEffortApp, str]] = []
     for level_index, level in enumerate(levels):
         for event in fault_plan.recoveries_at(level_index):
             if event.lc_name not in hosting:
@@ -410,7 +475,17 @@ def _plan_cluster_faulted(
                 # re-placement put it (migration is not free, Section I).
                 hosting[event.lc_name] = []
                 report.recoveries_handled += 1
+        rejoined = False
+        for rejoin in fault_plan.rejoins_at(level_index):
+            if rejoin.lc_name not in hosting:
+                hosting[rejoin.lc_name] = []
+                report.rejoins_handled += 1
+                rejoined = True
         displaced: List[Tuple[BestEffortApp, str]] = []
+        if rejoined and parked:
+            # Repaired capacity: give every parked BE another shot.
+            displaced.extend(parked)
+            parked = []
         for event in fault_plan.crashes_at(level_index):
             if event.lc_name in hosting:
                 displaced.extend(
@@ -418,25 +493,53 @@ def _plan_cluster_faulted(
                 )
                 report.crashes_handled += 1
         if displaced:
+            before = len(report.replacements)
             _replace_displaced(
                 displaced, hosting, plan_by_name, spec, level_index, report
+            )
+            # _replace_displaced records one Replacement per displaced
+            # app, in order; the ones it parked stay queued for the
+            # next rejoin.
+            parked.extend(
+                item
+                for item, placed in zip(
+                    displaced, report.replacements[before:]
+                )
+                if placed.to_lc is None
             )
         for plan in plans:
             name = plan.lc_app.name
             if name not in hosting:
                 report.degraded_cells += 1
                 continue
-            co_runners = hosting[name]
+            cell_level = level
+            schedule: Optional[CapSchedule] = None
+            co_runners = list(hosting[name])
+            if budget_plan is not None:
+                schedule = budget_plan.schedule_for(name, level_index)
+                scale = budget_plan.scale_for(name, level_index)
+                if scale != 1.0:
+                    budget_plan.report.stats.shed_cells += 1
+                cell_level = level * scale
+                if budget_plan.is_evicted(name, level_index) and co_runners:
+                    budget_plan.report.stats.evicted_cells += 1
+                    co_runners = []
             if not co_runners:
-                tasks.append((
-                    plan, spec, level, duration_s, config, None,
+                task: Tuple = (
+                    plan, spec, cell_level, duration_s, config, None,
                     fault_plan.cell_faults, guard,
-                ))
+                )
+                if budget_plan is not None:
+                    task = task + (schedule,)
+                tasks.append(task)
                 continue
             share_s = duration_s / len(co_runners)
             for be_app in co_runners:
-                tasks.append((
-                    plan, spec, level, share_s, config, be_app,
+                task = (
+                    plan, spec, cell_level, share_s, config, be_app,
                     fault_plan.cell_faults, guard,
-                ))
+                )
+                if budget_plan is not None:
+                    task = task + (schedule,)
+                tasks.append(task)
     return tasks, result

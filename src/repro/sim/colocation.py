@@ -29,6 +29,7 @@ import numpy as np
 from repro.apps.base import measured
 from repro.apps.best_effort import BestEffortApp
 from repro.apps.latency_critical import LatencyCriticalApp
+from repro.budget.schedule import CapSchedule
 from repro.core.server_manager import ManagerStats, ServerManagerBase
 from repro.errors import ConfigError, SimulationError
 from repro.faults.meter import FaultyPowerMeter
@@ -112,6 +113,7 @@ class ColocationSim:
         faults: Optional[FaultSchedule] = None,
         guard: Optional["GuardConfig"] = None,
         capper_factory: Optional[CapperFactory] = None,
+        cap_schedule: Optional[CapSchedule] = None,
     ) -> None:
         primary = server.primary_tenant()
         if primary is None:
@@ -127,6 +129,13 @@ class ColocationSim:
         self.manager = manager
         self.config = config
         self.faults = faults
+        # Budgeted cells move the *effective* cap along a planned
+        # CapSchedule; utilization and the capper's plausibility bound
+        # stay anchored at the base provisioning captured here, so an
+        # unbudgeted run (cap_schedule=None) is bit-identical to one
+        # predating the budget layer.
+        self.cap_schedule = cap_schedule
+        self._base_provisioned_w = server.provisioned_power_w
         self._rng = np.random.default_rng(config.seed)
         if faults is not None:
             self.meter: PowerMeter = FaultyPowerMeter(
@@ -236,8 +245,16 @@ class ColocationSim:
 
             self.manager.control_step(measured_load, measured_slack)
 
-            # Power-cap loop at 100 ms within the control tick.
+            # Power-cap loop at 100 ms within the control tick.  A
+            # budget schedule moves the effective cap immediately
+            # before the capper samples — the capper reads the live
+            # ``provisioned_power_w`` each step, so a lease expiring
+            # mid-tick takes effect at the very next 100 ms sample.
             for k in range(subticks):
+                if self.cap_schedule is not None:
+                    self.server.provisioned_power_w = (
+                        self.cap_schedule.cap_at(t + k * cfg.power_interval_s)
+                    )
                 self.capper.step(t + k * cfg.power_interval_s)
 
             # Record ground truth at end of tick.
@@ -265,6 +282,10 @@ class ColocationSim:
                 telemetry.record("safe_mode", t, 1.0 if self.capper.safe_mode else 0.0)
                 telemetry.record("lc_cores", t, lc_alloc.cores)
                 telemetry.record("lc_ways", t, lc_alloc.ways)
+                if self.cap_schedule is not None:
+                    telemetry.record(
+                        "effective_cap_w", t, self.server.provisioned_power_w
+                    )
                 if self.meter.last_reading is not None:
                     energy.record(self.meter.last_reading)
                 if be is not None and self.be_app is not None:
@@ -288,7 +309,7 @@ class ColocationSim:
             avg_be_throughput_abs=avg_abs,
             avg_lc_load_fraction=telemetry.series("lc_load_fraction").mean(),
             avg_power_w=avg_power,
-            power_utilization=avg_power / self.server.provisioned_power_w,
+            power_utilization=avg_power / self._base_provisioned_w,
             energy_kwh=energy.kwh,
             slo_violation_fraction=violations / max(1, n_ticks),
             cap_stats=self.capper.stats,

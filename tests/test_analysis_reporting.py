@@ -88,3 +88,44 @@ class TestPercentChange:
     def test_zero_base_rejected(self):
         with pytest.raises(ConfigError):
             percent_change(1.0, 0.0)
+
+
+class TestFormatBudgetDegradation:
+    def _report(self, **stats_overrides):
+        from repro.budget.arbiter import BudgetReport, BudgetStats
+
+        stats = BudgetStats(**stats_overrides)
+        return BudgetReport(
+            fairness="max-min",
+            stats=stats,
+            stage_history={"rack0": ((0.0, 0), (1.0, 2))},
+        )
+
+    def test_counters_render(self):
+        from repro.analysis.reporting import format_budget_degradation
+
+        out = format_budget_degradation([
+            ("pocolo", self._report(ticks=12, skipped_ticks=3,
+                                    grants_issued=20, grants_expired=4,
+                                    grants_lost=2, grants_delayed=1)),
+        ])
+        assert "Degradation under power budgets" in out
+        for header in ("run", "ticks", "skipped", "granted", "expired",
+                       "lost", "delayed", "max stage"):
+            assert header in out
+        row = out.splitlines()[-1]
+        assert "pocolo" in row
+        for value in ("12", "3", "20", "4", "2", "1"):
+            assert value in row
+
+    def test_max_stage_comes_from_history(self):
+        from repro.analysis.reporting import format_budget_degradation
+
+        out = format_budget_degradation([("run1", self._report())])
+        assert out.splitlines()[-1].split()[-3] == "2"
+
+    def test_malformed_row_rejected(self):
+        from repro.analysis.reporting import format_budget_degradation
+
+        with pytest.raises(ConfigError):
+            format_budget_degradation([("label", None, "extra")])

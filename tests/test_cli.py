@@ -89,3 +89,18 @@ class TestGuardCli:
     def test_guard_campaign_rejects_enforce_mode(self):
         with pytest.raises(ConfigError, match="record"):
             main(["guard", "--campaign", "--guard-mode", "enforce"])
+
+
+class TestBudgetCli:
+    @pytest.mark.slow
+    def test_run_with_budget_tree(self, capsys):
+        assert main(["run", "--budget-tree", "--duration", "6",
+                     "--arbiter-period", "2", "--lease", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Hierarchical budget tree" in out
+        assert "Degradation under power budgets" in out
+        assert "granted" in out
+
+    def test_run_rejects_unknown_fairness(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--budget-tree", "--fairness", "maximal"])

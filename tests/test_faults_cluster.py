@@ -197,3 +197,117 @@ class TestClusterCrash:
         assert summary.avg_power_w_per_server == 0.0
         assert math.isfinite(summary.power_utilization)
         assert math.isfinite(summary.provisioned_w_per_server)
+
+
+class TestServerRejoin:
+    """Repair events: rejoined capacity reopens BE re-placement."""
+
+    def test_rejoin_validation(self):
+        from repro.faults import ServerRejoin
+
+        with pytest.raises(ConfigError):
+            ServerRejoin("xapian", at_level_index=-1)
+        # A rejoin must repair an actual crash...
+        with pytest.raises(ConfigError):
+            ClusterFaultPlan(rejoins=(ServerRejoin("xapian", 2),))
+        # ...must follow it...
+        with pytest.raises(ConfigError):
+            ClusterFaultPlan(
+                crashes=(ServerCrash("xapian", at_level_index=2),),
+                rejoins=(ServerRejoin("xapian", at_level_index=2),),
+            )
+        # ...and cannot double up with a recovery.
+        with pytest.raises(ConfigError):
+            ClusterFaultPlan(
+                crashes=(ServerCrash(
+                    "xapian", at_level_index=1, recover_at_level_index=3,
+                ),),
+                rejoins=(ServerRejoin("xapian", at_level_index=2),),
+            )
+        plan = ClusterFaultPlan(
+            crashes=(ServerCrash("xapian", at_level_index=1),),
+            rejoins=(ServerRejoin("xapian", at_level_index=3),),
+        )
+        assert [r.lc_name for r in plan.rejoins_at(3)] == ["xapian"]
+        assert plan.rejoins_at(2) == ()
+
+    def test_rejoin_replaces_parked_displaced(self, plans, catalog):
+        """Total blackout, one repair: a parked BE lands on the rejoin."""
+        from repro.faults import ServerRejoin
+
+        two = plans[:2]
+        rejoined = two[1].lc_app.name
+        fault_plan = ClusterFaultPlan(
+            crashes=(
+                ServerCrash(two[0].lc_app.name, at_level_index=1),
+                ServerCrash(rejoined, at_level_index=1),
+            ),
+            rejoins=(ServerRejoin(rejoined, at_level_index=3),),
+        )
+        levels = [0.3, 0.5, 0.6, 0.7]
+        run = run_cluster(two, catalog.spec, levels=levels, duration_s=6.0,
+                          config=FAST, fault_plan=fault_plan)
+        report = run.fault_report
+        assert report.crashes_handled == 2
+        assert report.rejoins_handled == 1
+        # Both BEs parked at the crash; the repair re-placed one of them.
+        landed = [
+            r for r in report.replacements
+            if r.to_lc == rejoined and r.at_level_index == 3
+        ]
+        assert len(landed) == 1
+        back = [o for o in run.outcomes
+                if o.lc_name == rejoined and o.level == levels[3]]
+        assert len(back) == 1
+        assert back[0].be_name == landed[0].be_name
+        assert back[0].result.avg_be_throughput_norm > 0.0
+
+    def test_rejoin_with_nothing_parked_is_empty_handed(self, plans, catalog):
+        """With survivors, re-placement already won; the rejoin hosts
+        nothing (migration is not free, same rule as recovery)."""
+        from repro.faults import ServerRejoin
+
+        crashed = plans[0].lc_app.name
+        fault_plan = ClusterFaultPlan(
+            crashes=(ServerCrash(crashed, at_level_index=1),),
+            rejoins=(ServerRejoin(crashed, at_level_index=2),),
+        )
+        levels = [0.3, 0.5, 0.7]
+        run = run_cluster(plans[:3], catalog.spec, levels=levels,
+                          duration_s=6.0, config=FAST, fault_plan=fault_plan)
+        report = run.fault_report
+        assert report.rejoins_handled == 1
+        assert report.displaced_parked == 0
+        back = [o for o in run.outcomes
+                if o.lc_name == crashed and o.level == levels[2]]
+        assert len(back) == 1
+        assert back[0].be_name is None
+
+    def test_still_unplaced_bes_stay_parked(self, plans, catalog):
+        """A rejoin can absorb only what fits; the rest stays parked."""
+        from repro.faults import ServerRejoin
+
+        three = plans[:3]
+        rejoined = three[2].lc_app.name
+        fault_plan = ClusterFaultPlan(
+            crashes=tuple(
+                ServerCrash(p.lc_app.name, at_level_index=1) for p in three
+            ),
+            rejoins=(ServerRejoin(rejoined, at_level_index=2),),
+        )
+        levels = [0.3, 0.5, 0.7]
+        run = run_cluster(three, catalog.spec, levels=levels, duration_s=6.0,
+                          config=FAST, fault_plan=fault_plan)
+        report = run.fault_report
+        assert report.rejoins_handled == 1
+        placed_after = [
+            r for r in report.replacements
+            if r.at_level_index == 2 and r.to_lc is not None
+        ]
+        unplaced_after = [
+            r for r in report.replacements
+            if r.at_level_index == 2 and r.to_lc is None
+        ]
+        # One server's worth of capacity came back for three parked BEs.
+        assert len(placed_after) >= 1
+        assert len(unplaced_after) >= 1

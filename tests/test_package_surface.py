@@ -25,6 +25,7 @@ PACKAGES = (
     "repro",
     "repro.analysis",
     "repro.apps",
+    "repro.budget",
     "repro.core",
     "repro.cost",
     "repro.engine",
@@ -98,7 +99,7 @@ class TestDocstringCoverage:
     @pytest.mark.parametrize("package", [
         "repro.core", "repro.hwmodel", "repro.apps", "repro.sim",
         "repro.solvers", "repro.cost", "repro.workloads", "repro.analysis",
-        "repro.runtime", "repro.guard",
+        "repro.runtime", "repro.guard", "repro.budget",
     ])
     def test_exported_items_documented(self, package):
         import inspect
